@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared table-printing helpers for the figure-reproduction benches.
+ *
+ * Each bench prints, for a slice of the chapter 6 grid, the cycle
+ * counts of the four memory systems with min/max over the five relative
+ * alignments, plus execution time normalized to the PVA SDRAM minimum —
+ * the same quantities annotated on the paper's bars.
+ */
+
+#ifndef PVA_BENCH_COMMON_HH
+#define PVA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "kernels/sweep.hh"
+
+namespace pva::benchutil
+{
+
+/** Results of one (kernel, stride) cell across systems/alignments. */
+struct Cell
+{
+    MinMaxCycles pva;
+    MinMaxCycles cacheline;
+    MinMaxCycles gathering;
+    MinMaxCycles sram;
+};
+
+inline Cell
+runCell(KernelId kernel, std::uint32_t stride)
+{
+    Cell c;
+    c.pva = runAcrossAlignments(SystemKind::PvaSdram, kernel, stride);
+    c.cacheline =
+        runAcrossAlignments(SystemKind::CacheLine, kernel, stride);
+    c.gathering =
+        runAcrossAlignments(SystemKind::Gathering, kernel, stride);
+    c.sram = runAcrossAlignments(SystemKind::PvaSram, kernel, stride);
+    return c;
+}
+
+inline double
+pct(Cycle value, Cycle base)
+{
+    return 100.0 * static_cast<double>(value) /
+           static_cast<double>(base);
+}
+
+inline void
+printCellHeader()
+{
+    std::printf("%-8s %-7s | %9s %9s | %9s %8s | %9s %8s | %9s %9s\n",
+                "kernel", "stride", "pva.min", "pva.max", "cline",
+                "norm%", "gather", "norm%", "sram.min", "sram.max");
+}
+
+inline void
+printCellRow(const char *kernel, std::uint32_t stride, const Cell &c)
+{
+    std::printf("%-8s %-7u | %9llu %9llu | %9llu %7.0f%% | %9llu %7.0f%% "
+                "| %9llu %9llu\n",
+                kernel, stride,
+                static_cast<unsigned long long>(c.pva.min),
+                static_cast<unsigned long long>(c.pva.max),
+                static_cast<unsigned long long>(c.cacheline.min),
+                pct(c.cacheline.min, c.pva.min),
+                static_cast<unsigned long long>(c.gathering.min),
+                pct(c.gathering.min, c.pva.min),
+                static_cast<unsigned long long>(c.sram.min),
+                static_cast<unsigned long long>(c.sram.max));
+}
+
+/** Figure 7/8 layout: one block per kernel, rows are strides. */
+inline void
+printKernelsByStride(const std::vector<KernelId> &kernels)
+{
+    for (KernelId k : kernels) {
+        const char *name = kernelSpec(k).name.c_str();
+        std::printf("\n== %s: cycles vs stride (1024-element vectors, "
+                    "min/max over %zu alignments) ==\n",
+                    name, alignmentPresets().size());
+        printCellHeader();
+        for (std::uint32_t s : paperStrides()) {
+            Cell c = runCell(k, s);
+            printCellRow(name, s, c);
+        }
+    }
+}
+
+/** Figure 9/10 layout: one block per stride, rows are kernels. */
+inline void
+printStridesFixed(const std::vector<std::uint32_t> &strides)
+{
+    for (std::uint32_t s : strides) {
+        std::printf("\n== stride %u: cycles per kernel (normalized to "
+                    "PVA SDRAM min) ==\n",
+                    s);
+        printCellHeader();
+        for (KernelId k : allKernels()) {
+            Cell c = runCell(k, s);
+            printCellRow(kernelSpec(k).name.c_str(), s, c);
+        }
+    }
+}
+
+} // namespace pva::benchutil
+
+#endif // PVA_BENCH_COMMON_HH

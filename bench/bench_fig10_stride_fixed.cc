@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 10 reproduction: comparative performance of all kernels at
+ * strides 8, 16, and 19.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    std::printf("Figure 10: comparative performance of all kernels with "
+                "fixed stride (continued)\n");
+    pva::benchutil::printStridesFixed({8, 16, 19});
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 7 reproduction: comparative performance of copy, saxpy, and
+ * scale with varying stride across the four memory systems.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace pva;
+    std::printf("Figure 7: comparative performance with varying stride\n");
+    benchutil::printKernelsByStride(
+        {KernelId::Copy, KernelId::Saxpy, KernelId::Scale});
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 8 reproduction: comparative performance of swap, tridiag, and
+ * vaxpy (plus the unrolled copy2/scale2) with varying stride.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace pva;
+    std::printf("Figure 8: comparative performance with varying stride "
+                "(continued)\n");
+    benchutil::printKernelsByStride({KernelId::Swap, KernelId::Tridiag,
+                                     KernelId::Vaxpy, KernelId::Copy2,
+                                     KernelId::Scale2});
+    return 0;
+}

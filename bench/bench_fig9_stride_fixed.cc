@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 9 reproduction: comparative performance of all kernels at
+ * strides 1 and 4.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    std::printf("Figure 9: comparative performance of all kernels with "
+                "fixed stride\n");
+    pva::benchutil::printStridesFixed({1, 4});
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Interleaving-scheme study (the section 3.3 Hsu/Smith discussion):
+ * word-interleaved vs block-interleaved PVA across strides. Block
+ * interleave keeps unit-stride lines in one bank (good spatial
+ * locality per device, the Hsu/Smith result for plain vector machines)
+ * but loses the PVA's bank-level parallelism for strided access.
+ */
+
+#include <cstdio>
+
+#include "kernels/sweep.hh"
+
+int
+main()
+{
+    using namespace pva;
+
+    std::printf("Interleave factor vs stride: copy cycles "
+                "(16 banks, 1024 elements)\n");
+    std::printf("%-16s", "words/block");
+    for (std::uint32_t s : paperStrides())
+        std::printf(" %9u", s);
+    std::printf("\n");
+
+    for (unsigned n : {1u, 2u, 4u, 8u, 32u}) {
+        PvaConfig cfg;
+        cfg.geometry = Geometry(16, n);
+        std::printf("%-16u", n);
+        for (std::uint32_t s : paperStrides()) {
+            SweepPoint p = runPvaPoint(cfg, KernelId::Copy, s, 0);
+            std::printf(" %9llu",
+                        static_cast<unsigned long long>(p.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nTradeoff: block interleave spreads power-of-two "
+                "strides (whose low address bits\nvanish) across more "
+                "banks — N=32 fixes the stride-16 single-bank "
+                "hotspot — but\nslightly hurts unit stride by "
+                "serializing each line in one bank, and needs N\n"
+                "copies of the FirstHit logic per controller (section "
+                "4.3.1). The paper's\nprototype picks word interleave "
+                "for the cheapest FirstHit hardware.\n");
+    return 0;
+}

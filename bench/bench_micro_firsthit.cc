@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the FirstHit/NextHit math: the
+ * software cost of the operations the PVA implements in hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/firsthit.hh"
+#include "core/pla.hh"
+
+namespace
+{
+
+using namespace pva;
+
+void
+BM_FirstHitWord(benchmark::State &state)
+{
+    const unsigned m = static_cast<unsigned>(state.range(0));
+    VectorCommand v;
+    v.base = 12345;
+    v.stride = 19;
+    v.length = 32;
+    unsigned bank = 0;
+    for (auto _ : state) {
+        bank = (bank + 1) & ((1u << m) - 1);
+        benchmark::DoNotOptimize(firstHitWord(v, bank, m));
+    }
+}
+BENCHMARK(BM_FirstHitWord)->Arg(3)->Arg(4)->Arg(5);
+
+void
+BM_FirstHitBrute(benchmark::State &state)
+{
+    const unsigned m = static_cast<unsigned>(state.range(0));
+    Geometry geo(1u << m, 1);
+    VectorCommand v;
+    v.base = 12345;
+    v.stride = 19;
+    v.length = 32;
+    unsigned bank = 0;
+    for (auto _ : state) {
+        bank = (bank + 1) & ((1u << m) - 1);
+        benchmark::DoNotOptimize(firstHitBrute(v, bank, geo));
+    }
+}
+BENCHMARK(BM_FirstHitBrute)->Arg(3)->Arg(4)->Arg(5);
+
+void
+BM_PlaLookup(benchmark::State &state)
+{
+    const unsigned m = 4;
+    FirstHitPla pla(m, state.range(0) == 0
+                           ? FirstHitPla::Variant::FullKi
+                           : FirstHitPla::Variant::K1Multiply);
+    std::uint32_t d = 0;
+    for (auto _ : state) {
+        d = (d + 1) & 15;
+        benchmark::DoNotOptimize(pla.lookup(19 & 15, d, 32));
+    }
+}
+BENCHMARK(BM_PlaLookup)->Arg(0)->Arg(1);
+
+void
+BM_PlaBuild(benchmark::State &state)
+{
+    const unsigned m = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        FirstHitPla pla(m, FirstHitPla::Variant::FullKi);
+        benchmark::DoNotOptimize(pla.productTerms());
+    }
+}
+BENCHMARK(BM_PlaBuild)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_NextHitRecursive(benchmark::State &state)
+{
+    std::uint32_t stride = 1;
+    for (auto _ : state) {
+        stride = stride % 127 + 1;
+        benchmark::DoNotOptimize(nextHitRecursive(3, stride, 4, 128));
+    }
+}
+BENCHMARK(BM_NextHitRecursive);
+
+void
+BM_ExpandBankIndices(benchmark::State &state)
+{
+    Geometry geo(16, static_cast<unsigned>(state.range(0)));
+    VectorCommand v;
+    v.base = 999;
+    v.stride = 19;
+    v.length = 32;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(expandBankIndices(v, 5, geo));
+}
+BENCHMARK(BM_ExpandBankIndices)->Arg(1)->Arg(4);
+
+} // anonymous namespace

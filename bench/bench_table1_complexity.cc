@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 1 reproduction: bank-controller hardware complexity.
+ *
+ * Prints the structural cost model's primitive counts for the paper's
+ * prototype configuration (M = 16, 4 VCs, 8-entry FIFO, 8 outstanding
+ * transactions, FullKi PLA) in the paper's Table 1 format, then shows
+ * how the counts move when key parameters change.
+ */
+
+#include <iostream>
+
+#include "core/complexity.hh"
+
+int
+main()
+{
+    using namespace pva;
+
+    BcParameters def;
+    std::cout << "Table 1: synthesis summary (structural cost model, "
+                 "calibrated to the paper's prototype)\n\n";
+    printTable1(std::cout, estimateBankController(def));
+
+    std::cout << "\nScaling: total gates vs configuration\n";
+    std::cout << "config                               gates      RAM\n";
+    auto row = [](const char *label, const GateCounts &g) {
+        std::printf("%-36s %7llu %7llu B\n", label,
+                    static_cast<unsigned long long>(g.totalGates()),
+                    static_cast<unsigned long long>(g.ramBytes));
+    };
+    row("default (M=16, 4 VCs, FullKi PLA)", estimateBankController(def));
+
+    BcParameters p = def;
+    p.plaVariant = FirstHitPla::Variant::K1Multiply;
+    row("K1-multiply PLA", estimateBankController(p));
+
+    p = def;
+    p.vectorContexts = 8;
+    row("8 vector contexts", estimateBankController(p));
+
+    p = def;
+    p.banks = 64;
+    row("M=64 banks, FullKi PLA", estimateBankController(p));
+
+    p = def;
+    p.banks = 64;
+    p.plaVariant = FirstHitPla::Variant::K1Multiply;
+    row("M=64 banks, K1-multiply PLA", estimateBankController(p));
+
+    return 0;
+}

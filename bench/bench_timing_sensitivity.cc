@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DRAM timing sensitivity: how well do the scheduling heuristics hide
+ * slower DRAM? Sweeps RAS/CAS/precharge latencies and reports the
+ * PVA SDRAM : PVA SRAM cycle ratio for vaxpy (the figure 11 (b)
+ * question at other design points). A ratio near 1.0 means the
+ * scheduler is hiding the DRAM overhead entirely.
+ */
+
+#include <cstdio>
+
+#include "kernels/sweep.hh"
+
+int
+main()
+{
+    using namespace pva;
+
+    struct TimingPoint
+    {
+        const char *name;
+        SdramTiming t;
+    };
+    const TimingPoint points[] = {
+        {"paper (2-2-2, tRAS 5)", {2, 2, 2, 5, 7, 2, 0, 10}},
+        {"fast (1-1-1, tRAS 3)", {1, 1, 1, 3, 4, 1, 0, 10}},
+        {"slow (3-3-3, tRAS 7)", {3, 3, 3, 7, 10, 3, 0, 10}},
+        {"very slow (5-5-5, tRAS 12)", {5, 5, 5, 12, 17, 5, 0, 10}},
+    };
+
+    std::printf("DRAM timing sensitivity: vaxpy PVA-SDRAM/PVA-SRAM "
+                "cycle ratio\n");
+    std::printf("%-28s %10s %10s %10s\n", "timing", "stride 1",
+                "stride 16", "stride 19");
+    for (const TimingPoint &tp : points) {
+        PvaConfig sdram_cfg;
+        sdram_cfg.timing = tp.t;
+        PvaConfig sram_cfg;
+        sram_cfg.useSram = true;
+
+        std::printf("%-28s", tp.name);
+        for (std::uint32_t s : {1u, 16u, 19u}) {
+            SweepPoint d = runPvaPoint(sdram_cfg, KernelId::Vaxpy, s, 0);
+            SweepPoint r = runPvaPoint(sram_cfg, KernelId::Vaxpy, s, 0);
+            std::printf(" %9.3fx",
+                        static_cast<double>(d.cycles) / r.cycles);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nUnit and prime strides stay near 1.0x (overheads "
+                "hidden behind 16-bank\nparallelism); single-bank "
+                "stride 16 degrades as DRAM latencies grow.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+#include "baselines/cacheline_system.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+CacheLineSystem::CacheLineSystem(std::string name,
+                                 const CacheLineConfig &config)
+    : MemorySystem(std::move(name)), cfg(config)
+{
+    statSet.addScalar("commands", &statCommands);
+    statSet.addScalar("lineFills", &statLineFills);
+}
+
+unsigned
+CacheLineSystem::distinctLines(const VectorCommand &cmd,
+                               unsigned line_words)
+{
+    std::unordered_set<WordAddr> lines;
+    for (std::uint32_t i = 0; i < cmd.length; ++i)
+        lines.insert(cmd.element(i) / line_words);
+    return static_cast<unsigned>(lines.size());
+}
+
+unsigned
+CacheLineSystem::lineFills(const VectorCommand &cmd) const
+{
+    if (cfg.optimisticLineReuse || cmd.mode != VectorCommand::Mode::Stride)
+        return distinctLines(cmd, cfg.lineWords);
+    // The paper's accounting: floor(lineWords/stride) useful elements
+    // per fetched line; one fill per element beyond that.
+    unsigned per_line = cmd.stride >= cfg.lineWords
+                            ? 1
+                            : std::max(1u, cfg.lineWords / cmd.stride);
+    return (cmd.length + per_line - 1) / per_line;
+}
+
+bool
+CacheLineSystem::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
+                           const std::vector<Word> *write_data)
+{
+    if (queue.size() >= cfg.maxOutstanding)
+        return false;
+    if (!cmd.isRead &&
+        (write_data == nullptr || write_data->size() < cmd.length))
+        fatal("write command lacks write data");
+    Job job;
+    job.cmd = cmd;
+    job.tag = tag;
+    if (!cmd.isRead)
+        job.writeData = *write_data;
+    queue.push_back(std::move(job));
+    ++statCommands;
+    return true;
+}
+
+void
+CacheLineSystem::finish(Job &job)
+{
+    Completion c;
+    c.tag = job.tag;
+    if (job.cmd.isRead) {
+        c.data.resize(job.cmd.length);
+        for (std::uint32_t i = 0; i < job.cmd.length; ++i)
+            c.data[i] = backing.read(job.cmd.element(i));
+    } else {
+        for (std::uint32_t i = 0; i < job.cmd.length; ++i)
+            backing.write(job.cmd.element(i), job.writeData[i]);
+    }
+    completions.push_back(std::move(c));
+}
+
+void
+CacheLineSystem::tick(Cycle now)
+{
+    if (queue.empty())
+        return;
+    Job &head = queue.front();
+    if (!head.started) {
+        unsigned lines = lineFills(head.cmd);
+        statLineFills += lines;
+        head.finishAt = now + static_cast<Cycle>(lines) *
+                                  cfg.cyclesPerLine();
+        head.started = true;
+    }
+    if (now >= head.finishAt) {
+        finish(head);
+        queue.pop_front();
+        // The next command starts on the following tick; the serial
+        // controller processes one command at a time.
+    }
+}
+
+std::vector<Completion>
+CacheLineSystem::drainCompletions()
+{
+    std::vector<Completion> out;
+    out.swap(completions);
+    return out;
+}
+
+bool
+CacheLineSystem::busy() const
+{
+    return !queue.empty();
+}
+
+} // namespace pva

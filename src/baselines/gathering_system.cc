@@ -1,0 +1,82 @@
+#include "baselines/gathering_system.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+GatheringSystem::GatheringSystem(std::string name,
+                                 const GatheringConfig &config)
+    : MemorySystem(std::move(name)), cfg(config)
+{
+    statSet.addScalar("commands", &statCommands);
+    statSet.addScalar("elements", &statElements);
+}
+
+bool
+GatheringSystem::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
+                           const std::vector<Word> *write_data)
+{
+    if (queue.size() >= cfg.maxOutstanding)
+        return false;
+    if (!cmd.isRead &&
+        (write_data == nullptr || write_data->size() < cmd.length))
+        fatal("write command lacks write data");
+    Job job;
+    job.cmd = cmd;
+    job.tag = tag;
+    if (!cmd.isRead)
+        job.writeData = *write_data;
+    queue.push_back(std::move(job));
+    ++statCommands;
+    return true;
+}
+
+void
+GatheringSystem::finish(Job &job)
+{
+    Completion c;
+    c.tag = job.tag;
+    if (job.cmd.isRead) {
+        c.data.resize(job.cmd.length);
+        for (std::uint32_t i = 0; i < job.cmd.length; ++i)
+            c.data[i] = backing.read(job.cmd.element(i));
+    } else {
+        for (std::uint32_t i = 0; i < job.cmd.length; ++i)
+            backing.write(job.cmd.element(i), job.writeData[i]);
+    }
+    completions.push_back(std::move(c));
+}
+
+void
+GatheringSystem::tick(Cycle now)
+{
+    if (queue.empty())
+        return;
+    Job &head = queue.front();
+    if (!head.started) {
+        head.finishAt = now + commandCycles(head.cmd);
+        statElements += head.cmd.length;
+        head.started = true;
+    }
+    if (now >= head.finishAt) {
+        finish(head);
+        queue.pop_front();
+    }
+}
+
+std::vector<Completion>
+GatheringSystem::drainCompletions()
+{
+    std::vector<Completion> out;
+    out.swap(completions);
+    return out;
+}
+
+bool
+GatheringSystem::busy() const
+{
+    return !queue.empty();
+}
+
+} // namespace pva

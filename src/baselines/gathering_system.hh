@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The "gathering pipelined serial SDRAM" baseline (section 6.1).
+ *
+ * A 16-module word-interleaved SDRAM system with a closed-page policy
+ * that gathers vectors element by element: addresses issue serially,
+ * one per cycle, but RAS latencies overlap with activity on other banks
+ * for all but the first element of each command, and commands never
+ * cross DRAM pages. Precharge is paid once at the start of each vector
+ * command. Per 32-element command the cost is therefore
+ * tRP + tRCD + tCL + L cycles.
+ */
+
+#ifndef PVA_BASELINES_GATHERING_SYSTEM_HH
+#define PVA_BASELINES_GATHERING_SYSTEM_HH
+
+#include <deque>
+
+#include "core/memory_system.hh"
+#include "sdram/device.hh"
+#include "sim/stats.hh"
+
+namespace pva
+{
+
+/** Configuration of the serial gathering baseline. */
+struct GatheringConfig
+{
+    SdramTiming timing{};
+    unsigned maxOutstanding = 8;
+};
+
+/** Serial element-gathering memory system. */
+class GatheringSystem : public MemorySystem
+{
+  public:
+    GatheringSystem(std::string name, const GatheringConfig &config = {});
+
+    bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
+                   const std::vector<Word> *write_data) override;
+    std::vector<Completion> drainCompletions() override;
+    bool busy() const override;
+    SparseMemory &memory() override { return backing; }
+    StatSet &stats() override { return statSet; }
+
+    void tick(Cycle now) override;
+
+    /**
+     * Cycles one command occupies the serial pipeline: precharge + RAS
+     * + CAS once per command, then one address cycle per element on the
+     * shared bus (this is the serial address stream the PVA's broadcast
+     * eliminates) plus the compacted data cycles (2 words/cycle), which
+     * cannot overlap the next command's addresses on the multiplexed
+     * bus.
+     */
+    unsigned
+    commandCycles(const VectorCommand &cmd) const
+    {
+        return cfg.timing.tRP + cfg.timing.tRCD + cfg.timing.tCL +
+               cmd.length + cmd.length / 2;
+    }
+
+    Scalar statCommands;
+    Scalar statElements;
+
+  private:
+    struct Job
+    {
+        VectorCommand cmd;
+        std::uint64_t tag;
+        std::vector<Word> writeData;
+        Cycle finishAt = 0;
+        bool started = false;
+    };
+
+    void finish(Job &job);
+
+    GatheringConfig cfg;
+    SparseMemory backing;
+    std::deque<Job> queue;
+    std::vector<Completion> completions;
+    StatSet statSet;
+};
+
+} // namespace pva
+
+#endif // PVA_BASELINES_GATHERING_SYSTEM_HH

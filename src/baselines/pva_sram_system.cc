@@ -1,0 +1,3 @@
+// PvaSramSystem is header-only (a thin configuration wrapper over
+// PvaUnit); this translation unit anchors the library target.
+#include "baselines/pva_sram_system.hh"

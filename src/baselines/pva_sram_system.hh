@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The "parallel vector access SRAM" comparison system (section 6.1).
+ *
+ * The same PVA parallel access scheme, bank controllers, and bus
+ * protocol, but over single-cycle static RAM banks: no precharge or RAS
+ * latencies. Comparing the SDRAM PVA against this system measures how
+ * well the PVA scheduling heuristics hide dynamic-RAM overheads (the
+ * paper's claim: within ~15%).
+ */
+
+#ifndef PVA_BASELINES_PVA_SRAM_SYSTEM_HH
+#define PVA_BASELINES_PVA_SRAM_SYSTEM_HH
+
+#include "core/pva_unit.hh"
+
+namespace pva
+{
+
+/** PVA over SRAM banks. */
+class PvaSramSystem : public PvaUnit
+{
+  public:
+    PvaSramSystem(std::string name, PvaConfig config = {})
+        : PvaUnit(std::move(name), sramify(config))
+    {
+    }
+
+  private:
+    static PvaConfig
+    sramify(PvaConfig config)
+    {
+        config.useSram = true;
+        return config;
+    }
+};
+
+} // namespace pva
+
+#endif // PVA_BASELINES_PVA_SRAM_SYSTEM_HH

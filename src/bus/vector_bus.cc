@@ -1,0 +1,47 @@
+#include "bus/vector_bus.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+VectorBus::VectorBus(unsigned line_words) : lineWords(line_words)
+{
+    if (line_words % 2 != 0)
+        fatal("line length must be an even number of words");
+}
+
+void
+VectorBus::drive(Cycle now, const BusRequest &req)
+{
+    if (!requestFree(now))
+        panic("vector bus driven while busy at cycle %llu",
+              static_cast<unsigned long long>(now));
+    lastRequestCycle = now;
+    lastRequest = req;
+    ++statRequestCycles;
+    if (req.opcode == BusOpcode::StageRead ||
+        req.opcode == BusOpcode::StageWrite) {
+        freeAt = now + 1 + dataCycles();
+        statDataCycles += dataCycles();
+    } else {
+        freeAt = now + 1;
+    }
+}
+
+std::optional<BusRequest>
+VectorBus::snoop(Cycle now) const
+{
+    if (lastRequestCycle != kNeverCycle && lastRequestCycle == now)
+        return lastRequest;
+    return std::nullopt;
+}
+
+void
+VectorBus::registerStats(StatSet &set, const std::string &prefix) const
+{
+    set.addScalar(prefix + ".requestCycles", &statRequestCycles);
+    set.addScalar(prefix + ".dataCycles", &statDataCycles);
+}
+
+} // namespace pva

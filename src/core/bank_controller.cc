@@ -1,0 +1,438 @@
+#include "core/bank_controller.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+BankController::BankController(std::string name, unsigned bank,
+                               const Geometry &geo_, const BcConfig &config,
+                               BankDevice &dev_)
+    : Component(std::move(name)), geo(geo_), cfg(config), dev(dev_),
+      pla(geo_.bankBits(), config.plaVariant),
+      staging(config.transactions),
+      autoPrePredict(geo_.internalBanks(), false)
+{
+    if (bank >= geo.banks())
+        fatal("bank index %u out of range", bank);
+    bankIndex = bank;
+}
+
+void
+BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
+{
+    ++statCommandsSeen;
+    if (cmd.txn >= staging.size())
+        panic("transaction id %u out of range", cmd.txn);
+    Staging &st = staging[cmd.txn];
+    if (st.active)
+        panic("transaction id %u reused while active", cmd.txn);
+
+    st.active = true;
+    st.isRead = cmd.isRead;
+    st.got = 0;
+    if (cmd.isRead) {
+        st.line.assign(cfg.lineWords, 0);
+        st.valid.assign(cfg.lineWords, false);
+    }
+
+    if (cmd.mode != VectorCommand::Mode::Stride) {
+        // Extension modes (chapter 7): the BC snoops the broadcast
+        // element stream and selects its elements with a bank bit-mask.
+        Request req;
+        req.cmd = cmd;
+        for (std::uint32_t i = 0; i < cmd.length; ++i) {
+            WordAddr a = cmd.element(i);
+            if (geo.bankOf(a) == bankIndex) {
+                req.explicitAddrs.push_back(a);
+                req.explicitSlots.push_back(static_cast<std::uint8_t>(i));
+            }
+        }
+        st.expected =
+            static_cast<std::uint32_t>(req.explicitAddrs.size());
+        if (st.expected == 0)
+            return; // nothing here; trivially complete
+        ++statCommandsHit;
+        if (fifo.size() >= cfg.fifoEntries)
+            panic("request FIFO overflow");
+        // Indirect: indices broadcast two per cycle after the command;
+        // BitReversal: the pattern is generated locally (one extra
+        // cycle, like the power-of-two FHP path).
+        req.visibleAt = cmd.mode == VectorCommand::Mode::Indirect
+                            ? now + 1 + (cmd.length + 1) / 2
+                            : now + 2;
+        fifo.push_back(std::move(req));
+        return;
+    }
+
+    if (geo.interleave() > 1) {
+        // Block-interleaved system: N copies of the FirstHit logic, one
+        // per logical bank (section 4.3.1), each contributing an
+        // arithmetic subsequence. We model the N parallel units with
+        // the merged explicit index list of the logical-bank transform;
+        // they operate concurrently, so the latency matches the
+        // word-interleaved path.
+        Request req;
+        req.cmd = cmd;
+        for (std::uint32_t i : expandBankIndices(cmd, bankIndex, geo)) {
+            req.explicitAddrs.push_back(cmd.element(i));
+            req.explicitSlots.push_back(static_cast<std::uint8_t>(i));
+        }
+        st.expected =
+            static_cast<std::uint32_t>(req.explicitAddrs.size());
+        if (st.expected == 0)
+            return;
+        ++statCommandsHit;
+        if (fifo.size() >= cfg.fifoEntries)
+            panic("request FIFO overflow");
+        req.visibleAt = isPowerOfTwo(cmd.stride)
+                            ? now + 2
+                            : now + 2 + cfg.fhcLatency;
+        fifo.push_back(std::move(req));
+        return;
+    }
+
+    // --- FirstHit Predictor (1 cycle) ---------------------------------
+    const unsigned m = geo.bankBits();
+    const std::uint32_t M = 1u << m;
+    const unsigned b0 = static_cast<unsigned>(cmd.base & (M - 1));
+    const std::uint32_t d = (bankIndex + M - b0) & (M - 1);
+    const std::uint32_t sm = cmd.stride & (M - 1);
+
+    FirstHit fh = pla.lookup(sm, d, cmd.length);
+    if (!fh.hit) {
+        // No element of this vector lives here: this BC's share of the
+        // transaction is trivially complete.
+        st.expected = 0;
+        return;
+    }
+    ++statCommandsHit;
+
+    SubVector sub;
+    sub.hit = true;
+    sub.firstIndex = fh.index;
+    sub.delta = pla.delta(sm);
+    sub.count = 1 + (cmd.length - 1 - fh.index) / sub.delta;
+    st.expected = sub.count;
+
+    if (fifo.size() >= cfg.fifoEntries)
+        panic("request FIFO overflow (bus transaction limit violated?)");
+
+    // --- Latency through FHP / RQF / FHC (sections 5.2.2-5.2.3) -------
+    const Cycle enq = now + 1; // FHP takes one cycle
+    Cycle visible;
+    const bool pow2 = isPowerOfTwo(cmd.stride);
+    if (pow2) {
+        // FHP computed the address; ACC is set on entry.
+        bool bypass = cfg.bypassEnabled && fifo.empty() &&
+                      vcs.size() < cfg.vectorContexts;
+        visible = bypass ? now + 1 : now + 2;
+        if (bypass)
+            ++statBypasses;
+    } else {
+        // FHC: 2-cycle multiply-and-add, serialized over queued
+        // requests, plus a register-file writeback unless the bypass
+        // path applies (single outstanding request).
+        Cycle start = std::max(enq, fhcBusyUntil);
+        Cycle fhc_done = start + cfg.fhcLatency;
+        fhcBusyUntil = fhc_done;
+        bool bypass = cfg.bypassEnabled && fifo.empty() && vcs.empty();
+        visible = bypass ? fhc_done : fhc_done + 1;
+        if (bypass)
+            ++statBypasses;
+    }
+
+    Request req;
+    req.cmd = cmd;
+    req.sub = sub;
+    req.visibleAt = visible;
+    fifo.push_back(std::move(req));
+}
+
+void
+BankController::loadWriteLine(std::uint8_t txn, const std::vector<Word> &line)
+{
+    Staging &st = staging[txn];
+    st.line = line;
+    st.haveWriteData = true;
+}
+
+bool
+BankController::txnComplete(std::uint8_t txn) const
+{
+    const Staging &st = staging[txn];
+    return st.active && st.got >= st.expected;
+}
+
+void
+BankController::collectInto(std::uint8_t txn, std::vector<Word> &out) const
+{
+    const Staging &st = staging[txn];
+    for (std::size_t i = 0; i < st.valid.size() && i < out.size(); ++i) {
+        if (st.valid[i])
+            out[i] = st.line[i];
+    }
+}
+
+void
+BankController::releaseTxn(std::uint8_t txn)
+{
+    staging[txn] = Staging{};
+}
+
+void
+BankController::drainDeviceReturns(Cycle now)
+{
+    ReadReturn r;
+    while (dev.popReady(now, r)) {
+        Staging &st = staging[r.txn];
+        if (!st.active || !st.isRead)
+            panic("stray read return for transaction %u", r.txn);
+        st.line[r.slot] = r.data;
+        st.valid[r.slot] = true;
+        ++st.got;
+    }
+}
+
+void
+BankController::dequeueIntoVc(Cycle now)
+{
+    if (fifo.empty() || vcs.size() >= cfg.vectorContexts)
+        return;
+    if (fifo.front().visibleAt > now)
+        return;
+    if (lastDequeue != kNeverCycle && lastDequeue == now)
+        return; // one dequeue per cycle
+    lastDequeue = now;
+
+    Request req = std::move(fifo.front());
+    fifo.pop_front();
+
+    VectorContext vc;
+    vc.cmd = req.cmd;
+    vc.sub = req.sub;
+    vc.issued = 0;
+    vc.explicitAddrs = std::move(req.explicitAddrs);
+    vc.explicitSlots = std::move(req.explicitSlots);
+    if (vc.explicitAddrs.empty()) {
+        vc.firstAddr =
+            req.cmd.base +
+            static_cast<WordAddr>(req.cmd.stride) * req.sub.firstIndex;
+        vc.stepWords =
+            static_cast<WordAddr>(req.cmd.stride) * req.sub.delta;
+    }
+    vcs.push_back(std::move(vc));
+}
+
+bool
+BankController::otherVcHitsOpenRow(unsigned ibank,
+                                   const VectorContext *except) const
+{
+    if (!dev.anyRowOpen(ibank))
+        return false;
+    std::uint32_t open = dev.openRow(ibank);
+    for (const VectorContext &vc : vcs) {
+        if (&vc == except || vc.done())
+            continue;
+        DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
+        if (c.internalBank == ibank && c.row == open)
+            return true;
+    }
+    return false;
+}
+
+bool
+BankController::olderVcHitsOpenRow(unsigned ibank,
+                                   std::size_t vc_index) const
+{
+    if (!dev.anyRowOpen(ibank))
+        return false;
+    std::uint32_t open = dev.openRow(ibank);
+    for (std::size_t i = 0; i < vc_index && i < vcs.size(); ++i) {
+        const VectorContext &vc = vcs[i];
+        if (vc.done())
+            continue;
+        DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
+        if (c.internalBank == ibank && c.row == open)
+            return true;
+    }
+    return false;
+}
+
+bool
+BankController::anyVcMissesOpenRow(unsigned ibank) const
+{
+    if (!dev.anyRowOpen(ibank))
+        return false;
+    std::uint32_t open = dev.openRow(ibank);
+    for (const VectorContext &vc : vcs) {
+        if (vc.done())
+            continue;
+        DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
+        if (c.internalBank == ibank && c.row != open)
+            return true;
+    }
+    return false;
+}
+
+bool
+BankController::tryActivatePrecharge(Cycle now)
+{
+    // "Promote row opens and precharges above read and write operations,
+    // as long as they do not conflict with the open rows being used by
+    // some other VC" — oldest VC first (the daisy chain). A precharge is
+    // only vetoed by *older* VCs' hit predictions; a younger VC cannot
+    // hold an older one hostage (it may itself be polarity-stalled
+    // behind the older VC, which would deadlock).
+    for (std::size_t vi = 0; vi < vcs.size(); ++vi) {
+        VectorContext &vc = vcs[vi];
+        if (vc.done())
+            continue;
+        DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
+        if (dev.isRowOpen(c.internalBank, c.row))
+            continue; // ready, nothing to open
+
+        if (!dev.anyRowOpen(c.internalBank)) {
+            DeviceOp op;
+            op.kind = DeviceOp::Kind::Activate;
+            op.addr = vc.addrAt(vc.issued);
+            if (dev.canIssue(op, now)) {
+                if (!vc.firstOpDone) {
+                    // Autoprecharge predictor: a new request whose first
+                    // row differs from the row last open in this
+                    // internal bank predicts "close after use".
+                    autoPrePredict[c.internalBank] =
+                        dev.lastRow(c.internalBank) != c.row;
+                    vc.firstOpDone = true;
+                }
+                dev.issue(op, now);
+                return true;
+            }
+        } else if (!olderVcHitsOpenRow(c.internalBank, vi)) {
+            // bank_hit_predict not asserted by any older VC: safe to
+            // close the row.
+            DeviceOp op;
+            op.kind = DeviceOp::Kind::Precharge;
+            op.internalBank = c.internalBank;
+            if (dev.canIssue(op, now)) {
+                dev.issue(op, now);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+BankController::decideAutoPrecharge(const VectorContext &vc,
+                                    const DeviceCoords &c)
+{
+    if (cfg.rowPolicy == RowPolicy::AlwaysClose)
+        return true;
+    if (cfg.rowPolicy == RowPolicy::AlwaysOpen)
+        return false;
+    bool last_element = vc.issued + 1 >= vc.count();
+    if (last_element) {
+        if (otherVcHitsOpenRow(c.internalBank, &vc))
+            return false; // bank_morehit_predict: leave open
+        if (anyVcMissesOpenRow(c.internalBank))
+            return true; // bank_close_predict: close it
+        return autoPrePredict[c.internalBank];
+    }
+    DeviceCoords nc = geo.decompose(vc.addrAt(vc.issued + 1));
+    if (nc.internalBank == c.internalBank && nc.row == c.row)
+        return false; // our own next access hits the same row
+    if (otherVcHitsOpenRow(c.internalBank, &vc))
+        return false;
+    return true;
+}
+
+bool
+BankController::tryReadWrite(Cycle now)
+{
+    // Polarity rule (section 5.2.4): a VC may issue only if the SDRAM
+    // data bus has the same polarity and no polarity reversal is pending
+    // in any older VC. The oldest pending VC may always reverse.
+    bool reversal_blocked = false;
+    bool first_pending = true;
+    for (auto it = vcs.begin(); it != vcs.end(); ++it) {
+        VectorContext &vc = *it;
+        if (vc.done())
+            continue;
+        bool wants_reversal = anyDirYet && vc.cmd.isRead != lastDirRead;
+        bool polarity_ok =
+            first_pending || (!reversal_blocked && !wants_reversal);
+
+        DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
+        bool row_ready = dev.isRowOpen(c.internalBank, c.row);
+        bool data_ready =
+            vc.cmd.isRead || staging[vc.cmd.txn].haveWriteData;
+
+        if (polarity_ok && row_ready && data_ready) {
+            std::uint32_t slot = vc.slotAt(vc.issued);
+            DeviceOp op;
+            op.kind = vc.cmd.isRead ? DeviceOp::Kind::Read
+                                    : DeviceOp::Kind::Write;
+            op.addr = vc.addrAt(vc.issued);
+            op.txn = vc.cmd.txn;
+            op.slot = static_cast<std::uint8_t>(slot);
+            op.autoPrecharge = decideAutoPrecharge(vc, c);
+            if (!vc.cmd.isRead)
+                op.writeData = staging[vc.cmd.txn].line[slot];
+
+            if (dev.canIssue(op, now)) {
+                if (!vc.firstOpDone) {
+                    autoPrePredict[c.internalBank] =
+                        dev.lastRow(c.internalBank) != c.row;
+                    vc.firstOpDone = true;
+                }
+                dev.issue(op, now);
+                lastDirRead = vc.cmd.isRead;
+                anyDirYet = true;
+                ++statElements;
+                if (!vc.cmd.isRead)
+                    ++staging[vc.cmd.txn].got; // committed to SDRAM
+                ++vc.issued;
+                if (vc.done())
+                    vcs.erase(it);
+                return true;
+            }
+        }
+
+        if (wants_reversal)
+            reversal_blocked = true;
+        first_pending = false;
+    }
+    return false;
+}
+
+void
+BankController::tick(Cycle now)
+{
+    dev.tick(now); // apply auto-refresh before scheduling decisions
+    drainDeviceReturns(now);
+    dequeueIntoVc(now);
+    bool issued = tryActivatePrecharge(now);
+    if (!issued)
+        issued = tryReadWrite(now);
+    if (issued)
+        ++statSchedActiveCycles;
+}
+
+bool
+BankController::idle() const
+{
+    return fifo.empty() && vcs.empty() && dev.quiescent();
+}
+
+void
+BankController::registerStats(StatSet &set, const std::string &prefix) const
+{
+    set.addScalar(prefix + ".commandsSeen", &statCommandsSeen);
+    set.addScalar(prefix + ".commandsHit", &statCommandsHit);
+    set.addScalar(prefix + ".elements", &statElements);
+    set.addScalar(prefix + ".bypasses", &statBypasses);
+    set.addScalar(prefix + ".schedActiveCycles", &statSchedActiveCycles);
+}
+
+} // namespace pva

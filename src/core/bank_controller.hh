@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The PVA Bank Controller (section 5.2.2).
+ *
+ * One BC owns one external SDRAM (or SRAM) bank and, for every vector
+ * command broadcast on the Vector Bus, independently identifies and
+ * accesses the sub-vector that lives in its bank. Its subcomponents
+ * mirror figure 6 of the paper:
+ *
+ *  - FirstHit Predictor (FHP): snoops broadcasts; 1 cycle to decide
+ *    hit/no-hit and, for power-of-two strides, to compute the firsthit
+ *    address.
+ *  - Request FIFO (RQF) over a Register File (RF): 8 entries buffering
+ *    requests not yet assigned to vector contexts.
+ *  - FirstHit Calculate (FHC): a 2-cycle multiply-and-add that finishes
+ *    the firsthit address for non-power-of-two strides, working in
+ *    parallel with the scheduler so its latency hides when the BC is
+ *    busy.
+ *  - Access Scheduler (SCHED) with 4 Vector Contexts (VCs) and
+ *    daisy-chained Scheduling Policy Units: expands each sub-vector by
+ *    shift-and-add, reorders activates/precharges above reads/writes
+ *    when they do not conflict with rows in use, and applies the
+ *    ManageRow() open-row policy with per-internal-bank autoprecharge
+ *    predictors.
+ *  - Staging Units: per-transaction line buffers for gathered read data
+ *    and scattered write data, driving the wired-OR
+ *    transaction-complete lines.
+ *
+ * Bypass paths (section 5.2.3): with an empty RQF a power-of-two-stride
+ * request goes straight to a VC one cycle early, and a lone
+ * non-power-of-two request skips the register-file writeback cycle.
+ */
+
+#ifndef PVA_CORE_BANK_CONTROLLER_HH
+#define PVA_CORE_BANK_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/firsthit.hh"
+#include "core/pla.hh"
+#include "core/vector_command.hh"
+#include "sdram/device.hh"
+#include "sim/component.hh"
+#include "sim/stats.hh"
+
+namespace pva
+{
+
+/** Open-row management policy (ablation of the ManageRow heuristics). */
+enum class RowPolicy
+{
+    Managed,     ///< The paper's predictor-driven ManageRow() algorithm
+    AlwaysClose, ///< Auto-precharge every access (closed-page policy)
+    AlwaysOpen,  ///< Never auto-precharge (open-page policy)
+};
+
+/** Structural configuration of a bank controller. */
+struct BcConfig
+{
+    unsigned fifoEntries = 8;     ///< Request FIFO / Register File depth
+    unsigned vectorContexts = 4;  ///< VC window size
+    unsigned lineWords = 32;      ///< Elements per cache-line command
+    unsigned transactions = 8;    ///< Outstanding bus transactions
+    unsigned fhcLatency = 2;      ///< Multiply-and-add cycles (section 5.3)
+    bool bypassEnabled = true;    ///< Section 5.2.3 bypass paths
+    RowPolicy rowPolicy = RowPolicy::Managed;
+    FirstHitPla::Variant plaVariant = FirstHitPla::Variant::FullKi;
+};
+
+/** One bank's controller. */
+class BankController : public Component
+{
+  public:
+    BankController(std::string name, unsigned bank, const Geometry &geo,
+                   const BcConfig &config, BankDevice &dev);
+
+    /**
+     * FHP snoop: called in the cycle a VEC_READ/VEC_WRITE broadcast
+     * appears on the bus. Decides participation and queues the request.
+     */
+    void observeVecCommand(Cycle now, const VectorCommand &cmd);
+
+    /**
+     * Deliver scattered write data for transaction @p txn (the full
+     * cache line as sent during the STAGE_WRITE data cycles; the BC
+     * keeps the words its sub-vector needs).
+     */
+    void loadWriteLine(std::uint8_t txn, const std::vector<Word> &line);
+
+    /** Has this BC finished its share of transaction @p txn? (Its
+     *  contribution to the wired-OR transaction-complete line.) */
+    bool txnComplete(std::uint8_t txn) const;
+
+    /** Copy this BC's gathered words for @p txn into the line buffer
+     *  @p out (indexed by vector element position). */
+    void collectInto(std::uint8_t txn, std::vector<Word> &out) const;
+
+    /** Free the staging resources of @p txn after the line is staged. */
+    void releaseTxn(std::uint8_t txn);
+
+    void tick(Cycle now) override;
+
+    /** Nothing queued, scheduled, or in flight. */
+    bool idle() const;
+
+    const Geometry &geometry() const { return geo; }
+    BankDevice &device() { return dev; }
+
+    /** @name Statistics @{ */
+    Scalar statCommandsSeen;
+    Scalar statCommandsHit;
+    Scalar statElements;
+    Scalar statBypasses;
+    Scalar statSchedActiveCycles;
+    /** @} */
+
+    void registerStats(StatSet &set, const std::string &prefix) const;
+
+  private:
+    /** A queued vector request (Register File entry). */
+    struct Request
+    {
+        VectorCommand cmd;
+        SubVector sub;
+        Cycle visibleAt; ///< When the scheduler may dequeue it (ACC set)
+        /** Explicit element list for Indirect/BitReversal commands
+         *  (parallel arrays: device address, line slot). */
+        std::vector<WordAddr> explicitAddrs;
+        std::vector<std::uint8_t> explicitSlots;
+    };
+
+    /** A vector request being expanded by the access scheduler. */
+    struct VectorContext
+    {
+        VectorCommand cmd;
+        SubVector sub;
+        std::uint32_t issued = 0; ///< Elements already sent to the device
+        WordAddr firstAddr = 0;   ///< Address of the firsthit element
+        WordAddr stepWords = 0;   ///< stride << (m - s), the VC increment
+        bool firstOpDone = false; ///< Autoprecharge predictor captured
+        std::vector<WordAddr> explicitAddrs;
+        std::vector<std::uint8_t> explicitSlots;
+
+        std::uint32_t
+        count() const
+        {
+            return explicitAddrs.empty()
+                ? sub.count
+                : static_cast<std::uint32_t>(explicitAddrs.size());
+        }
+
+        bool done() const { return issued >= count(); }
+
+        /** Device address of sub-vector element @p j. */
+        WordAddr
+        addrAt(std::uint32_t j) const
+        {
+            return explicitAddrs.empty() ? firstAddr + stepWords * j
+                                         : explicitAddrs[j];
+        }
+
+        /** Line slot (vector index) of sub-vector element @p j. */
+        std::uint32_t
+        slotAt(std::uint32_t j) const
+        {
+            return explicitAddrs.empty() ? sub.index(j)
+                                         : explicitSlots[j];
+        }
+    };
+
+    /** Per-transaction staging state. */
+    struct Staging
+    {
+        bool active = false;
+        bool isRead = true;
+        std::uint32_t expected = 0;
+        std::uint32_t got = 0;
+        std::vector<Word> line;  ///< Read gather / write scatter data
+        std::vector<bool> valid; ///< Read slots gathered so far
+        bool haveWriteData = false;
+
+        bool complete() const { return !active || got >= expected; }
+    };
+
+    void drainDeviceReturns(Cycle now);
+    void dequeueIntoVc(Cycle now);
+    bool tryActivatePrecharge(Cycle now);
+    bool tryReadWrite(Cycle now);
+
+    /** Does any VC other than @p except have its next element on the
+     *  open row of internal bank @p ibank? (bank_hit/morehit_predict) */
+    bool otherVcHitsOpenRow(unsigned ibank, const VectorContext *except)
+        const;
+
+    /**
+     * Does any VC older than vcs[@p vc_index] have its next element on
+     * the open row of internal bank @p ibank? Used to gate precharges:
+     * blocking on *younger* VCs' hit predictions would let a
+     * polarity-stalled young VC deadlock an old one (the daisy chain
+     * gives the oldest pending operation priority).
+     */
+    bool olderVcHitsOpenRow(unsigned ibank, std::size_t vc_index) const;
+
+    /** Does any VC's next element map to @p ibank with a row different
+     *  from its open row? (bank_close_predict) */
+    bool anyVcMissesOpenRow(unsigned ibank) const;
+
+    /** ManageRow(): should the read/write for @p vc at @p c auto-
+     *  precharge its row? */
+    bool decideAutoPrecharge(const VectorContext &vc,
+                             const DeviceCoords &c);
+
+    const Geometry &geo;
+    BcConfig cfg;
+    BankDevice &dev;
+    FirstHitPla pla;
+    unsigned bankIndex = 0;
+
+    std::deque<Request> fifo;        ///< RQF (oldest at front)
+    std::deque<VectorContext> vcs;   ///< Oldest at front (highest prio)
+    std::vector<Staging> staging;    ///< Indexed by transaction id
+    std::vector<bool> autoPrePredict; ///< Per internal bank (section 5.2.2)
+
+    Cycle fhcBusyUntil = 0; ///< FHC pipeline occupancy
+    Cycle lastDequeue = kNeverCycle;
+
+    bool lastDirRead = true; ///< SDRAM data bus polarity
+    bool anyDirYet = false;
+};
+
+} // namespace pva
+
+#endif // PVA_CORE_BANK_CONTROLLER_HH

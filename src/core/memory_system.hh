@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Common interface all evaluated memory systems implement.
+ *
+ * The kernel harness drives each of the paper's four memory systems
+ * (PVA SDRAM, cache-line interleaved serial SDRAM, gathering pipelined
+ * serial SDRAM, PVA SRAM) through this interface: submit cache-line
+ * vector commands, tick the clock, drain completions.
+ */
+
+#ifndef PVA_CORE_MEMORY_SYSTEM_HH
+#define PVA_CORE_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vector_command.hh"
+#include "sim/component.hh"
+#include "sim/memory.hh"
+#include "sim/stats.hh"
+
+namespace pva
+{
+
+/** A finished vector transaction returned to the issuing processor. */
+struct Completion
+{
+    std::uint64_t tag;      ///< Caller-chosen identifier
+    std::vector<Word> data; ///< Gathered line for reads; empty for writes
+};
+
+/** Abstract vector-capable memory system. */
+class MemorySystem : public Component
+{
+  public:
+    using Component::Component;
+
+    /**
+     * Submit a vector command. For writes, @p write_data supplies the
+     * dense line to scatter (cmd.length words). Returns false if the
+     * system has no free transaction resources this cycle; the caller
+     * retries later.
+     *
+     * @param tag caller identifier reported back in the Completion.
+     */
+    virtual bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
+                           const std::vector<Word> *write_data) = 0;
+
+    /** Completions that matured since the last drain. */
+    virtual std::vector<Completion> drainCompletions() = 0;
+
+    /** Any transaction still in flight or queued? */
+    virtual bool busy() const = 0;
+
+    /** Functional backing store (for test setup and verification). */
+    virtual SparseMemory &memory() = 0;
+
+    /** Registered statistics of this system. */
+    virtual StatSet &stats() = 0;
+};
+
+} // namespace pva
+
+#endif // PVA_CORE_MEMORY_SYSTEM_HH

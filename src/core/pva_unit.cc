@@ -1,0 +1,226 @@
+#include "core/pva_unit.hh"
+
+#include "sdram/sram_device.hh"
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
+    : MemorySystem(std::move(name)), cfg(config),
+      vectorBus(config.bc.lineWords), txns(config.bc.transactions)
+{
+    const unsigned banks = cfg.geometry.banks();
+    devices.reserve(banks);
+    bcs.reserve(banks);
+    for (unsigned b = 0; b < banks; ++b) {
+        std::string dev_name = csprintf("%s.dev%u", this->name().c_str(), b);
+        if (cfg.useSram) {
+            devices.push_back(std::make_unique<SramDevice>(
+                dev_name, b, cfg.geometry, backing));
+        } else {
+            devices.push_back(std::make_unique<SdramDevice>(
+                dev_name, b, cfg.geometry, cfg.timing, backing));
+        }
+        bcs.push_back(std::make_unique<BankController>(
+            csprintf("%s.bc%u", this->name().c_str(), b), b, cfg.geometry,
+            cfg.bc, *devices.back()));
+    }
+
+    vectorBus.registerStats(statSet, "bus");
+    statSet.addScalar("frontend.reads", &statReads);
+    statSet.addScalar("frontend.writes", &statWrites);
+    statSet.addDistribution("frontend.readLatency", &statReadLatency);
+    statSet.addDistribution("frontend.writeLatency", &statWriteLatency);
+    for (unsigned b = 0; b < banks; ++b) {
+        bcs[b]->registerStats(statSet, csprintf("bc%u", b));
+        if (!cfg.useSram) {
+            static_cast<SdramDevice *>(devices[b].get())
+                ->registerStats(statSet, csprintf("dev%u", b));
+        }
+    }
+}
+
+PvaUnit::~PvaUnit() = default;
+
+bool
+PvaUnit::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
+                   const std::vector<Word> *write_data)
+{
+    if (cmd.length == 0 || cmd.length > cfg.bc.lineWords)
+        fatal("vector command length %u out of range", cmd.length);
+    if (!cmd.isRead &&
+        (write_data == nullptr || write_data->size() < cmd.length))
+        fatal("write command lacks write data");
+
+    for (std::uint8_t id = 0; id < txns.size(); ++id) {
+        if (txns[id].state != TxnState::Free)
+            continue;
+        Txn &t = txns[id];
+        t.cmd = cmd;
+        t.cmd.txn = id;
+        t.tag = tag;
+        t.state = cmd.isRead ? TxnState::QueuedRead : TxnState::QueuedWrite;
+        t.acceptedAt = lastTickCycle;
+        if (!cmd.isRead)
+            t.writeData = *write_data;
+        else
+            t.writeData.clear();
+        submitOrder.push_back(id);
+        if (cmd.isRead)
+            ++statReads;
+        else
+            ++statWrites;
+        return true;
+    }
+    return false;
+}
+
+bool
+PvaUnit::allBcsComplete(std::uint8_t id) const
+{
+    for (const auto &bc : bcs) {
+        if (!bc->txnComplete(id))
+            return false;
+    }
+    return true;
+}
+
+void
+PvaUnit::finishRead(std::uint8_t id, Cycle now)
+{
+    Txn &t = txns[id];
+    statReadLatency.sample(now - t.acceptedAt);
+    Completion c;
+    c.tag = t.tag;
+    c.data.assign(t.cmd.length, 0);
+    for (const auto &bc : bcs)
+        bc->collectInto(id, c.data);
+    completions.push_back(std::move(c));
+    for (const auto &bc : bcs)
+        bc->releaseTxn(id);
+    t.state = TxnState::Free;
+}
+
+void
+PvaUnit::finishWrite(std::uint8_t id, Cycle now)
+{
+    Txn &t = txns[id];
+    statWriteLatency.sample(now - t.acceptedAt);
+    completions.push_back({t.tag, {}});
+    for (const auto &bc : bcs)
+        bc->releaseTxn(id);
+    t.state = TxnState::Free;
+}
+
+void
+PvaUnit::tick(Cycle now)
+{
+    lastTickCycle = now;
+
+    // --- 1. Untimed/timed state transitions (observing BC state as of
+    //        the end of the previous cycle). ---------------------------
+    for (std::uint8_t id = 0; id < txns.size(); ++id) {
+        Txn &t = txns[id];
+        switch (t.state) {
+          case TxnState::Gathering:
+            if (allBcsComplete(id))
+                t.state = TxnState::StagePending;
+            break;
+          case TxnState::Staging:
+            if (now >= t.readyAt)
+                finishRead(id, now);
+            break;
+          case TxnState::WriteData:
+            if (now >= t.readyAt)
+                t.state = TxnState::VecWritePending;
+            break;
+          case TxnState::Scattering:
+            if (allBcsComplete(id))
+                finishWrite(id, now);
+            break;
+          default:
+            break;
+        }
+    }
+
+    // --- 2. Bus arbitration: at most one request cycle. ---------------
+    if (vectorBus.requestFree(now)) {
+        // Priority 1: stage completed reads (frees transaction slots).
+        std::uint8_t chosen = 0;
+        bool found = false;
+        for (std::uint8_t id = 0; id < txns.size(); ++id) {
+            if (txns[id].state == TxnState::StagePending) {
+                chosen = id;
+                found = true;
+                break;
+            }
+        }
+        if (found) {
+            vectorBus.drive(now, {BusOpcode::StageRead, txns[chosen].cmd,
+                                  chosen});
+            txns[chosen].state = TxnState::Staging;
+            txns[chosen].readyAt = now + vectorBus.dataCycles();
+        } else {
+            // Priority 2: broadcast VEC_WRITE for writes whose data
+            // cycles have finished.
+            for (std::uint8_t id = 0; id < txns.size(); ++id) {
+                if (txns[id].state == TxnState::VecWritePending) {
+                    chosen = id;
+                    found = true;
+                    break;
+                }
+            }
+            if (found) {
+                Txn &t = txns[chosen];
+                vectorBus.drive(now, {BusOpcode::VecWrite, t.cmd, chosen});
+                for (const auto &bc : bcs)
+                    bc->observeVecCommand(now, t.cmd);
+                t.state = TxnState::Scattering;
+            } else if (!submitOrder.empty()) {
+                // Priority 3: start the oldest queued command.
+                std::uint8_t id = submitOrder.front();
+                Txn &t = txns[id];
+                if (t.state == TxnState::QueuedRead) {
+                    submitOrder.pop_front();
+                    vectorBus.drive(now, {BusOpcode::VecRead, t.cmd, id});
+                    for (const auto &bc : bcs)
+                        bc->observeVecCommand(now, t.cmd);
+                    t.state = TxnState::Gathering;
+                } else if (t.state == TxnState::QueuedWrite) {
+                    submitOrder.pop_front();
+                    vectorBus.drive(now,
+                                    {BusOpcode::StageWrite, t.cmd, id});
+                    for (const auto &bc : bcs)
+                        bc->loadWriteLine(id, t.writeData);
+                    t.state = TxnState::WriteData;
+                    t.readyAt = now + vectorBus.dataCycles();
+                }
+            }
+        }
+    }
+
+    // --- 3. Clock the bank controllers (and through them the DRAMs). --
+    for (const auto &bc : bcs)
+        bc->tick(now);
+}
+
+std::vector<Completion>
+PvaUnit::drainCompletions()
+{
+    std::vector<Completion> out;
+    out.swap(completions);
+    return out;
+}
+
+bool
+PvaUnit::busy() const
+{
+    for (const Txn &t : txns) {
+        if (t.state != TxnState::Free)
+            return true;
+    }
+    return false;
+}
+
+} // namespace pva

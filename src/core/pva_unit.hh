@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The Parallel Vector Access unit: bank controllers + vector bus + the
+ * memory-controller front end of section 5.2.6.
+ *
+ * Read transaction lifecycle:
+ *   VEC_READ broadcast (1 request cycle) -> every BC gathers its
+ *   sub-vector into its staging unit -> wired-OR transaction-complete
+ *   line deasserts -> front end issues STAGE_READ -> 16 data cycles
+ *   return the 128-byte line (2 words per cycle) -> completion.
+ *
+ * Write transaction lifecycle:
+ *   STAGE_WRITE (1 request cycle) -> 16 data cycles push the line into
+ *   the BCs' write staging -> VEC_WRITE broadcast -> BCs scatter ->
+ *   transaction-complete deasserts when all data is committed to SDRAM
+ *   -> completion.
+ *
+ * The same unit instantiated over SramDevice banks is the paper's
+ * "parallel vector access SRAM" comparison system.
+ */
+
+#ifndef PVA_CORE_PVA_UNIT_HH
+#define PVA_CORE_PVA_UNIT_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bus/vector_bus.hh"
+#include "core/bank_controller.hh"
+#include "core/memory_system.hh"
+#include "sdram/device.hh"
+#include "sdram/geometry.hh"
+
+namespace pva
+{
+
+/** Top-level configuration of a PVA memory system. */
+struct PvaConfig
+{
+    Geometry geometry{16, 1, 9, 2, 13};
+    SdramTiming timing{};
+    BcConfig bc{};
+    bool useSram = false; ///< Build the PVA-SRAM comparison system
+};
+
+/** The PVA unit as a complete memory system. */
+class PvaUnit : public MemorySystem
+{
+  public:
+    PvaUnit(std::string name, const PvaConfig &config);
+    ~PvaUnit() override;
+
+    bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
+                   const std::vector<Word> *write_data) override;
+    std::vector<Completion> drainCompletions() override;
+    bool busy() const override;
+    SparseMemory &memory() override { return backing; }
+    StatSet &stats() override { return statSet; }
+
+    void tick(Cycle now) override;
+
+    /** Direct access for white-box tests. */
+    BankController &bankController(unsigned i) { return *bcs[i]; }
+    const PvaConfig &config() const { return cfg; }
+    VectorBus &bus() { return vectorBus; }
+
+  private:
+    enum class TxnState
+    {
+        Free,
+        QueuedRead,     ///< Waiting for a bus cycle to broadcast VEC_READ
+        Gathering,      ///< BCs collecting; waiting on complete line
+        StagePending,   ///< Complete; waiting for the bus for STAGE_READ
+        Staging,        ///< Data cycles in progress
+        QueuedWrite,    ///< Waiting for the bus to start STAGE_WRITE
+        WriteData,      ///< Write data cycles in progress
+        VecWritePending, ///< Data sent; waiting to broadcast VEC_WRITE
+        Scattering,     ///< BCs writing to SDRAM
+    };
+
+    struct Txn
+    {
+        TxnState state = TxnState::Free;
+        VectorCommand cmd;
+        std::uint64_t tag = 0;
+        std::vector<Word> writeData;
+        Cycle readyAt = 0;   ///< Next state-transition time where timed
+        Cycle acceptedAt = 0; ///< For the latency distributions
+    };
+
+    /** All BCs finished transaction @p id (the wired-OR line). */
+    bool allBcsComplete(std::uint8_t id) const;
+
+    void finishRead(std::uint8_t id, Cycle now);
+    void finishWrite(std::uint8_t id, Cycle now);
+
+    PvaConfig cfg;
+    SparseMemory backing;
+    VectorBus vectorBus;
+    std::vector<std::unique_ptr<BankDevice>> devices;
+    std::vector<std::unique_ptr<BankController>> bcs;
+
+    std::vector<Txn> txns;
+    std::deque<std::uint8_t> submitOrder; ///< FIFO of queued commands
+    std::vector<Completion> completions;
+
+    StatSet statSet;
+    Scalar statReads;
+    Scalar statWrites;
+    Cycle lastTickCycle = 0;
+    Distribution statReadLatency{4};  ///< Submit-to-data, 4-cycle buckets
+    Distribution statWriteLatency{4}; ///< Submit-to-commit
+};
+
+} // namespace pva
+
+#endif // PVA_CORE_PVA_UNIT_HH

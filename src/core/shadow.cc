@@ -1,0 +1,70 @@
+#include "core/shadow.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+ShadowMemorySystem::ShadowMemorySystem(std::string name,
+                                       MemorySystem &inner_)
+    : MemorySystem(std::move(name)), inner(inner_)
+{
+}
+
+void
+ShadowMemorySystem::mapShadow(const ShadowRegion &region)
+{
+    if (region.stride == 0 || region.length == 0)
+        fatal("shadow region needs stride >= 1 and length >= 1");
+    for (const ShadowRegion &r : regions) {
+        bool disjoint =
+            region.shadowBase + region.length <= r.shadowBase ||
+            r.shadowBase + r.length <= region.shadowBase;
+        if (!disjoint)
+            fatal("overlapping shadow regions");
+    }
+    regions.push_back(region);
+}
+
+bool
+ShadowMemorySystem::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
+                              const std::vector<Word> *write_data)
+{
+    if (cmd.mode == VectorCommand::Mode::Stride) {
+        for (const ShadowRegion &r : regions) {
+            if (cmd.base < r.shadowBase ||
+                cmd.base >= r.shadowBase + r.length) {
+                continue;
+            }
+            WordAddr last =
+                cmd.base + static_cast<WordAddr>(cmd.stride) *
+                               (cmd.length ? cmd.length - 1 : 0);
+            if (last >= r.shadowBase + r.length)
+                fatal("vector command crosses a shadow region boundary");
+            // Shadow word (shadowBase + k) backs real word
+            // (realBase + k*stride): compose the strides.
+            VectorCommand real = cmd;
+            real.base = r.realBase + (cmd.base - r.shadowBase) * r.stride;
+            real.stride = cmd.stride * r.stride;
+            bool ok = inner.trySubmit(real, tag, write_data);
+            if (ok)
+                ++remapped;
+            return ok;
+        }
+    }
+    return inner.trySubmit(cmd, tag, write_data);
+}
+
+std::vector<Completion>
+ShadowMemorySystem::drainCompletions()
+{
+    return inner.drainCompletions();
+}
+
+bool
+ShadowMemorySystem::busy() const
+{
+    return inner.busy();
+}
+
+} // namespace pva

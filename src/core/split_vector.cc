@@ -1,0 +1,83 @@
+#include "core/split_vector.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+void
+MmcTlb::mapSuperpage(WordAddr vbase, WordAddr pbase, std::uint32_t size)
+{
+    if (!isPowerOfTwo(size))
+        fatal("superpage size %u is not a power of two", size);
+    if (vbase % size != 0 || pbase % size != 0)
+        fatal("superpage bases must be size-aligned");
+    entries.push_back({vbase, pbase, size});
+}
+
+MmcTlb::Translation
+MmcTlb::lookup(WordAddr vaddr) const
+{
+    for (const Entry &e : entries) {
+        if (vaddr >= e.vbase && vaddr < e.vbase + e.size)
+            return {e.pbase + (vaddr - e.vbase), e.size};
+    }
+    fatal("TLB miss for word address %llu",
+          static_cast<unsigned long long>(vaddr));
+}
+
+void
+MmcTlb::identityMap(WordAddr base, std::uint64_t span,
+                    std::uint32_t page_size)
+{
+    WordAddr first = (base / page_size) * page_size;
+    WordAddr last = base + span;
+    for (WordAddr p = first; p < last; p += page_size)
+        mapSuperpage(p, p, page_size);
+}
+
+std::vector<VectorCommand>
+splitVector(const VectorCommand &v, const MmcTlb &tlb)
+{
+    if (v.stride == 0)
+        fatal("splitVector requires stride >= 1");
+
+    // "index of most significant power of 2 in V.S", rounded up so the
+    // shift is a safe lower bound: 2^shift >= stride.
+    unsigned shift_val = 0;
+    while ((1u << shift_val) < v.stride)
+        ++shift_val;
+
+    std::vector<VectorCommand> out;
+    WordAddr base = v.base;
+    std::uint32_t length = v.length;
+    while (length > 0) {
+        MmcTlb::Translation t = tlb.lookup(base);
+        // terminate(phys_address): offset within the superpage.
+        std::uint32_t offset =
+            static_cast<std::uint32_t>(t.phys & (t.pageSize - 1));
+        std::uint32_t remaining = t.pageSize - offset;
+        std::uint32_t lower_bound = remaining >> shift_val;
+        // The element at `base` itself is on the page, so at least one
+        // element can always be issued (keeps the loop productive when
+        // remaining < stride).
+        if (lower_bound == 0)
+            lower_bound = 1;
+        if (lower_bound > length)
+            lower_bound = length;
+
+        VectorCommand sub = v;
+        sub.base = t.phys;
+        sub.length = lower_bound;
+        out.push_back(sub);
+
+        // "While banks are busy operating on the vector we issued,
+        // compute new base address": multiply happens off the critical
+        // path in hardware.
+        length -= lower_bound;
+        base += static_cast<WordAddr>(v.stride) * lower_bound;
+    }
+    return out;
+}
+
+} // namespace pva

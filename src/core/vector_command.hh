@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The application-vector request broadcast on the Vector Bus.
+ *
+ * The primary mode is the base-stride tuple V = <B, S, L> of chapter 4.
+ * Two further application-vector patterns from the paper's future-work
+ * discussion (chapter 7) are supported as extension modes:
+ *
+ *  - Indirect: elements are addressed base + indices[i] (the two-phase
+ *    vector-indirect scatter/gather; each BC selects its elements by
+ *    snooping the broadcast index stream with a bank bit-mask).
+ *  - BitReversal: element i lives at base + bitReverse(i, revBits), the
+ *    FFT reordering pattern.
+ */
+
+#ifndef PVA_CORE_VECTOR_COMMAND_HH
+#define PVA_CORE_VECTOR_COMMAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pva
+{
+
+/** Reverse the low @p bits bits of @p v (the FFT access pattern). */
+constexpr std::uint64_t
+bitReverse(std::uint64_t v, unsigned bits)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+/**
+ * A vector operation as broadcast on the Vector Bus.
+ *
+ * Addresses and strides are in 32-bit words (the paper's prototype
+ * transfers 4-byte elements). A cache-line-sized command has
+ * length == 32 (128 bytes).
+ */
+struct VectorCommand
+{
+    enum class Mode : std::uint8_t { Stride, Indirect, BitReversal };
+
+    WordAddr base = 0;        ///< V.B, word address of element 0
+    std::uint32_t stride = 1; ///< V.S in words, >= 1 (Stride mode)
+    std::uint32_t length = 0; ///< V.L, element count
+    bool isRead = true;       ///< VEC_READ vs VEC_WRITE
+    std::uint8_t txn = 0;     ///< Bus transaction id (3 bits)
+    Mode mode = Mode::Stride;
+    std::vector<WordAddr> indices; ///< Word offsets (Indirect mode)
+    unsigned revBits = 0;          ///< Reversed bit count (BitReversal)
+    std::uint64_t revOffset = 0;   ///< Global index of element 0
+                                   ///  (BitReversal chunking)
+
+    /** Word address of element @p i. */
+    WordAddr
+    element(std::uint32_t i) const
+    {
+        switch (mode) {
+          case Mode::Stride:
+            return base + static_cast<WordAddr>(stride) * i;
+          case Mode::Indirect:
+            return base + indices[i];
+          case Mode::BitReversal:
+            return base + bitReverse(revOffset + i, revBits);
+        }
+        return base;
+    }
+};
+
+} // namespace pva
+
+#endif // PVA_CORE_VECTOR_COMMAND_HH

@@ -1,0 +1,59 @@
+#include "kernels/alignment.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+namespace
+{
+
+/** One column sweep of all 16 banks: 512 cols x 16 banks. */
+constexpr WordAddr kRowStripeWords = 8192;
+
+/** Keep workloads away from address 0 (and room for tridiag's x[-1]). */
+constexpr WordAddr kRegionBase = 1 << 18;
+
+} // anonymous namespace
+
+const std::vector<AlignmentPreset> &
+alignmentPresets()
+{
+    static const std::vector<AlignmentPreset> presets = {
+        // Identical alignment: every stream starts on the same bank,
+        // internal bank, and row offset.
+        {"aligned", {0, 0, 0}},
+        // Consecutive bank skew: stream j starts j banks later.
+        {"bank+1", {0, 1, 2}},
+        // Larger relatively-prime bank skew.
+        {"bank+17", {0, 17, 34}},
+        // Same bank and column, different SDRAM internal bank.
+        {"ibank", {0, kRowStripeWords, 2 * kRowStripeWords}},
+        // Mixed: different internal bank and a bank skew.
+        {"mixed", {0, kRowStripeWords + 1, 2 * kRowStripeWords + 17}},
+    };
+    return presets;
+}
+
+std::vector<WordAddr>
+streamBases(const AlignmentPreset &preset, unsigned num_streams,
+            std::uint32_t stride, std::uint32_t elements)
+{
+    if (num_streams > preset.skews.size())
+        fatal("alignment preset '%s' supports %zu streams, need %u",
+              preset.name.c_str(), preset.skews.size(), num_streams);
+
+    // Span of one stream, rounded to a row-stripe boundary, plus one
+    // extra stripe so the largest skew cannot overlap the next stream.
+    WordAddr span = static_cast<WordAddr>(stride) * elements;
+    WordAddr spacing =
+        ((span + kRowStripeWords - 1) / kRowStripeWords + 3) *
+        kRowStripeWords;
+
+    std::vector<WordAddr> bases(num_streams);
+    for (unsigned j = 0; j < num_streams; ++j)
+        bases[j] = kRegionBase + j * spacing + preset.skews[j];
+    return bases;
+}
+
+} // namespace pva

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The five relative vector alignments of the chapter 6 experiments.
+ *
+ * Alignment varies "placement of the base addresses within memory
+ * banks, within internal banks for a given SDRAM, and within rows or
+ * pages for a given internal bank". Each preset skews the base address
+ * of each stream differently; streams are otherwise laid out back to
+ * back with generous aligned spacing so they never overlap.
+ */
+
+#ifndef PVA_KERNELS_ALIGNMENT_HH
+#define PVA_KERNELS_ALIGNMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pva
+{
+
+/** One relative-alignment configuration. */
+struct AlignmentPreset
+{
+    std::string name;
+    /** Word-address skew applied to stream j (j < 3). */
+    std::vector<WordAddr> skews;
+};
+
+/** The five presets used throughout the evaluation. */
+const std::vector<AlignmentPreset> &alignmentPresets();
+
+/**
+ * Compute stream base addresses for @p num_streams streams of
+ * @p elements elements at @p stride, under preset @p preset.
+ *
+ * Streams are spaced by the array span rounded up to a row-stripe
+ * boundary (8192 words: one full column sweep of all 16 banks), so that
+ * with zero skew every stream starts at the same bank/column/row
+ * alignment.
+ */
+std::vector<WordAddr> streamBases(const AlignmentPreset &preset,
+                                  unsigned num_streams,
+                                  std::uint32_t stride,
+                                  std::uint32_t elements);
+
+} // namespace pva
+
+#endif // PVA_KERNELS_ALIGNMENT_HH

@@ -1,0 +1,52 @@
+#include "kernels/command_unit.hh"
+
+namespace pva
+{
+
+VectorCommandUnit::VectorCommandUnit(MemorySystem &sys_,
+                                     const KernelTrace &trace_)
+    : sys(sys_), trace(trace_),
+      state(trace_.ops.size(), OpState::Waiting),
+      gathered(trace_.ops.size())
+{
+}
+
+bool
+VectorCommandUnit::service()
+{
+    for (Completion &c : sys.drainCompletions()) {
+        std::size_t i = static_cast<std::size_t>(c.tag);
+        state[i] = OpState::Completed;
+        gathered[i] = std::move(c.data);
+        ++completedCount;
+    }
+
+    while (scanFrom < trace.ops.size() &&
+           state[scanFrom] == OpState::Completed) {
+        ++scanFrom;
+    }
+
+    for (std::size_t i = scanFrom; i < trace.ops.size(); ++i) {
+        if (state[i] != OpState::Waiting)
+            continue;
+        bool ready = true;
+        for (std::size_t d : trace.ops[i].deps) {
+            if (state[d] != OpState::Completed) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready)
+            continue;
+        const KernelOp &op = trace.ops[i];
+        const std::vector<Word> *wd =
+            op.cmd.isRead ? nullptr : &op.writeData;
+        if (!sys.trySubmit(op.cmd, i, wd))
+            break; // transaction resources exhausted this cycle
+        state[i] = OpState::Submitted;
+    }
+
+    return done();
+}
+
+} // namespace pva

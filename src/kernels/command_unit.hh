@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Vector Command Unit: the processor-side issue engine.
+ *
+ * Models the paper's "infinitely fast CPU that issues memory requests as
+ * soon as possible (subject to availability of bus resources)": every
+ * cycle it submits, out of order, any trace operation whose dependences
+ * have completed, until the memory system's transaction resources fill.
+ */
+
+#ifndef PVA_KERNELS_COMMAND_UNIT_HH
+#define PVA_KERNELS_COMMAND_UNIT_HH
+
+#include <vector>
+
+#include "core/memory_system.hh"
+#include "kernels/kernel.hh"
+
+namespace pva
+{
+
+/** Issues a KernelTrace against a MemorySystem. */
+class VectorCommandUnit
+{
+  public:
+    VectorCommandUnit(MemorySystem &sys, const KernelTrace &trace);
+
+    /**
+     * Drain completions and submit newly ready operations. Call once per
+     * cycle (the runner calls it from the simulation loop).
+     *
+     * @return true when every operation has completed.
+     */
+    bool service();
+
+    bool done() const { return completedCount == trace.ops.size(); }
+
+    /** Gathered line data per read op (empty for writes / not yet
+     *  complete). */
+    const std::vector<std::vector<Word>> &readData() const
+    {
+        return gathered;
+    }
+
+  private:
+    enum class OpState { Waiting, Submitted, Completed };
+
+    MemorySystem &sys;
+    const KernelTrace &trace;
+    std::vector<OpState> state;
+    std::vector<std::vector<Word>> gathered;
+    std::size_t completedCount = 0;
+    std::size_t scanFrom = 0; ///< First op not yet completed
+};
+
+} // namespace pva
+
+#endif // PVA_KERNELS_COMMAND_UNIT_HH

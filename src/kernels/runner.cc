@@ -1,0 +1,32 @@
+#include "kernels/runner.hh"
+
+#include "kernels/command_unit.hh"
+
+namespace pva
+{
+
+RunResult
+runTrace(MemorySystem &sys, const KernelTrace &trace)
+{
+    Simulation sim;
+    sim.add(&sys);
+    VectorCommandUnit vcu(sys, trace);
+
+    Cycle start = sim.now();
+    sim.runUntil([&] { return vcu.service(); }, 50000000);
+
+    RunResult r;
+    r.cycles = sim.now() - start;
+    r.mismatches = verifyTrace(trace, sys.memory());
+    return r;
+}
+
+RunResult
+runKernelOn(MemorySystem &sys, KernelId kernel, const WorkloadConfig &config)
+{
+    KernelTrace trace = buildTrace(kernelSpec(kernel), config,
+                                   sys.memory());
+    return runTrace(sys, trace);
+}
+
+} // namespace pva

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Drives one kernel trace to completion on one memory system.
+ */
+
+#ifndef PVA_KERNELS_RUNNER_HH
+#define PVA_KERNELS_RUNNER_HH
+
+#include "core/memory_system.hh"
+#include "kernels/kernel.hh"
+#include "sim/simulation.hh"
+
+namespace pva
+{
+
+/** Outcome of one run. */
+struct RunResult
+{
+    Cycle cycles = 0;          ///< Start of issue to last completion
+    std::size_t mismatches = 0; ///< Functional check (0 = correct)
+};
+
+/** Run @p trace on @p sys; verifies the final memory image. */
+RunResult runTrace(MemorySystem &sys, const KernelTrace &trace);
+
+/**
+ * Convenience: build the trace for @p kernel under @p config against
+ * the system's current memory image and run it.
+ */
+RunResult runKernelOn(MemorySystem &sys, KernelId kernel,
+                      const WorkloadConfig &config);
+
+} // namespace pva
+
+#endif // PVA_KERNELS_RUNNER_HH

@@ -1,0 +1,108 @@
+#include "kernels/sweep.hh"
+
+#include "baselines/cacheline_system.hh"
+#include "baselines/gathering_system.hh"
+#include "baselines/pva_sram_system.hh"
+#include "core/pva_unit.hh"
+#include "kernels/runner.hh"
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::PvaSdram:
+        return "PVA SDRAM";
+      case SystemKind::CacheLine:
+        return "cache-line serial SDRAM";
+      case SystemKind::Gathering:
+        return "gathering pipelined SDRAM";
+      case SystemKind::PvaSram:
+        return "PVA SRAM";
+    }
+    return "?";
+}
+
+std::unique_ptr<MemorySystem>
+makeSystem(SystemKind kind, const std::string &name)
+{
+    switch (kind) {
+      case SystemKind::PvaSdram:
+        return std::make_unique<PvaUnit>(name, PvaConfig{});
+      case SystemKind::CacheLine:
+        return std::make_unique<CacheLineSystem>(name);
+      case SystemKind::Gathering:
+        return std::make_unique<GatheringSystem>(name);
+      case SystemKind::PvaSram:
+        return std::make_unique<PvaSramSystem>(name);
+    }
+    panic("unknown system kind");
+}
+
+SweepPoint
+runPoint(SystemKind system, KernelId kernel, std::uint32_t stride,
+         unsigned alignment, std::uint32_t elements)
+{
+    const KernelSpec &spec = kernelSpec(kernel);
+    const AlignmentPreset &preset = alignmentPresets().at(alignment);
+
+    WorkloadConfig cfg;
+    cfg.stride = stride;
+    cfg.elements = elements;
+    cfg.streamBases =
+        streamBases(preset, spec.numStreams, stride, elements);
+
+    auto sys = makeSystem(system, spec.name);
+    RunResult r = runKernelOn(*sys, kernel, cfg);
+
+    return {system, kernel, stride, alignment, r.cycles, r.mismatches};
+}
+
+SweepPoint
+runPvaPoint(const PvaConfig &config, KernelId kernel, std::uint32_t stride,
+            unsigned alignment, std::uint32_t elements)
+{
+    const KernelSpec &spec = kernelSpec(kernel);
+    const AlignmentPreset &preset = alignmentPresets().at(alignment);
+
+    WorkloadConfig cfg;
+    cfg.stride = stride;
+    cfg.elements = elements;
+    cfg.lineWords = config.bc.lineWords;
+    cfg.streamBases =
+        streamBases(preset, spec.numStreams, stride, elements);
+
+    PvaUnit sys(spec.name, config);
+    RunResult r = runKernelOn(sys, kernel, cfg);
+    return {config.useSram ? SystemKind::PvaSram : SystemKind::PvaSdram,
+            kernel, stride, alignment, r.cycles, r.mismatches};
+}
+
+MinMaxCycles
+runAcrossAlignments(SystemKind system, KernelId kernel,
+                    std::uint32_t stride, std::uint32_t elements)
+{
+    MinMaxCycles mm{kNeverCycle, 0};
+    for (unsigned a = 0; a < alignmentPresets().size(); ++a) {
+        SweepPoint p = runPoint(system, kernel, stride, a, elements);
+        if (p.mismatches != 0)
+            panic("functional mismatch in %s/%s stride %u alignment %u",
+                  systemName(system), kernelSpec(kernel).name.c_str(),
+                  stride, a);
+        mm.min = std::min(mm.min, p.cycles);
+        mm.max = std::max(mm.max, p.cycles);
+    }
+    return mm;
+}
+
+const std::vector<std::uint32_t> &
+paperStrides()
+{
+    static const std::vector<std::uint32_t> strides = {1, 2, 4, 8, 16, 19};
+    return strides;
+}
+
+} // namespace pva

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The chapter 6 experimental grid: kernels x strides x alignments x
+ * memory systems. Shared by the figure-reproduction benches and the
+ * integration tests.
+ */
+
+#ifndef PVA_KERNELS_SWEEP_HH
+#define PVA_KERNELS_SWEEP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/memory_system.hh"
+#include "core/pva_unit.hh"
+#include "kernels/alignment.hh"
+#include "kernels/kernel.hh"
+
+namespace pva
+{
+
+/** The four memory systems of section 6.1. */
+enum class SystemKind
+{
+    PvaSdram,
+    CacheLine,
+    Gathering,
+    PvaSram,
+};
+
+/** Human-readable system name as used in the paper's figures. */
+const char *systemName(SystemKind kind);
+
+/** Instantiate a fresh memory system of the given kind. */
+std::unique_ptr<MemorySystem> makeSystem(SystemKind kind,
+                                         const std::string &name);
+
+/** Cycle count of one (system, kernel, stride, alignment) point. */
+struct SweepPoint
+{
+    SystemKind system;
+    KernelId kernel;
+    std::uint32_t stride;
+    unsigned alignment; ///< Index into alignmentPresets()
+    Cycle cycles;
+    std::size_t mismatches;
+};
+
+/** Run one grid point (1024-element vectors unless overridden). */
+SweepPoint runPoint(SystemKind system, KernelId kernel,
+                    std::uint32_t stride, unsigned alignment,
+                    std::uint32_t elements = 1024);
+
+/**
+ * Run one grid point on a PVA system with an explicit configuration
+ * (for ablation studies: VC count, row policy, bypass paths, geometry,
+ * timing, refresh).
+ */
+SweepPoint runPvaPoint(const PvaConfig &config, KernelId kernel,
+                       std::uint32_t stride, unsigned alignment,
+                       std::uint32_t elements = 1024);
+
+/** Min and max cycles across the five alignment presets. */
+struct MinMaxCycles
+{
+    Cycle min;
+    Cycle max;
+};
+
+MinMaxCycles runAcrossAlignments(SystemKind system, KernelId kernel,
+                                 std::uint32_t stride,
+                                 std::uint32_t elements = 1024);
+
+/** The strides the paper evaluates. */
+const std::vector<std::uint32_t> &paperStrides();
+
+} // namespace pva
+
+#endif // PVA_KERNELS_SWEEP_HH

@@ -1,0 +1,164 @@
+#include "kernels/trace_file.hh"
+
+#include <istream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace pva
+{
+
+namespace
+{
+
+bool
+parseNumber(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(tok, &pos, 0); // base 0: decimal or 0x hex
+        return pos == tok.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+bool
+parseTrace(std::istream &in, TraceFile &out, std::string &error)
+{
+    out.ops.clear();
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string::size_type hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        std::string verb;
+        if (!(ss >> verb))
+            continue; // blank / comment-only line
+
+        auto fail = [&](const char *what) {
+            error = csprintf("line %u: %s", line_no, what);
+            return false;
+        };
+
+        std::vector<std::uint64_t> args;
+        std::string tok;
+        while (ss >> tok) {
+            std::uint64_t v;
+            if (!parseNumber(tok, v))
+                return fail("malformed number");
+            args.push_back(v);
+        }
+
+        TraceOp op;
+        if (verb == "poke") {
+            if (args.size() != 2)
+                return fail("poke needs <addr> <value>");
+            op.kind = TraceOp::Kind::Poke;
+            op.addr = args[0];
+            op.value = static_cast<Word>(args[1]);
+        } else if (verb == "read" || verb == "write") {
+            bool is_read = verb == "read";
+            std::size_t need = is_read ? 3 : 4;
+            if (args.size() != need)
+                return fail(is_read
+                                ? "read needs <base> <stride> <length>"
+                                : "write needs <base> <stride> <length> "
+                                  "<seed>");
+            if (args[1] == 0)
+                return fail("stride must be >= 1");
+            if (args[2] == 0 || args[2] > 32)
+                return fail("length must be in 1..32");
+            op.kind = is_read ? TraceOp::Kind::Read
+                              : TraceOp::Kind::Write;
+            op.cmd.base = args[0];
+            op.cmd.stride = static_cast<std::uint32_t>(args[1]);
+            op.cmd.length = static_cast<std::uint32_t>(args[2]);
+            op.cmd.isRead = is_read;
+            if (!is_read)
+                op.value = static_cast<Word>(args[3]);
+        } else if (verb == "barrier") {
+            if (!args.empty())
+                return fail("barrier takes no arguments");
+            op.kind = TraceOp::Kind::Barrier;
+        } else {
+            return fail("unknown verb");
+        }
+        out.ops.push_back(op);
+    }
+    error.clear();
+    return true;
+}
+
+ReplayResult
+replayTrace(MemorySystem &sys, const TraceFile &trace)
+{
+    Simulation sim;
+    sim.add(&sys);
+
+    ReplayResult result;
+    std::size_t next = 0;           ///< Next op to issue
+    std::size_t outstanding = 0;    ///< Commands in flight
+    bool at_barrier = false;
+
+    sim.runUntil(
+        [&] {
+            for (Completion &c : sys.drainCompletions()) {
+                --outstanding;
+                for (std::size_t i = 0; i < c.data.size(); ++i) {
+                    // Order-independent mix of (tag, slot, value).
+                    std::uint64_t x = c.tag * 1000003u + i * 0x9e3779b9u +
+                                      c.data[i];
+                    x ^= x >> 33;
+                    result.readChecksum += x * 0xff51afd7ed558ccdULL;
+                }
+            }
+            if (at_barrier && outstanding == 0)
+                at_barrier = false;
+
+            while (!at_barrier && next < trace.ops.size()) {
+                const TraceOp &op = trace.ops[next];
+                if (op.kind == TraceOp::Kind::Poke) {
+                    sys.memory().write(op.addr, op.value);
+                    ++next;
+                    continue;
+                }
+                if (op.kind == TraceOp::Kind::Barrier) {
+                    ++next;
+                    if (outstanding > 0) {
+                        at_barrier = true;
+                        break;
+                    }
+                    continue;
+                }
+                std::vector<Word> data;
+                const std::vector<Word> *wd = nullptr;
+                if (op.kind == TraceOp::Kind::Write) {
+                    data.resize(op.cmd.length);
+                    for (std::uint32_t i = 0; i < op.cmd.length; ++i)
+                        data[i] = op.value + i;
+                    wd = &data;
+                }
+                if (!sys.trySubmit(op.cmd, next, wd))
+                    break;
+                ++outstanding;
+                ++result.commands;
+                ++next;
+            }
+            return next >= trace.ops.size() && outstanding == 0;
+        },
+        100000000);
+
+    result.cycles = sim.now();
+    return result;
+}
+
+} // namespace pva

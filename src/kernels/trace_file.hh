@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Text trace format for driving a memory system from a file.
+ *
+ * A trace is a sequence of lines; '#' starts a comment. Commands:
+ *
+ *     poke <addr> <value>                 write a word functionally
+ *     read <base> <stride> <length>       vector gather
+ *     write <base> <stride> <length> <seed>
+ *                                         vector scatter; element i
+ *                                         carries the value seed + i
+ *     barrier                             wait for all prior commands
+ *
+ * Numbers are decimal or 0x-prefixed hex; addresses and strides are in
+ * words. Reads and writes issue as soon as transaction resources allow
+ * (no implicit ordering) unless separated by a barrier.
+ */
+
+#ifndef PVA_KERNELS_TRACE_FILE_HH
+#define PVA_KERNELS_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/memory_system.hh"
+#include "core/vector_command.hh"
+
+namespace pva
+{
+
+/** One parsed trace line. */
+struct TraceOp
+{
+    enum class Kind { Poke, Read, Write, Barrier };
+
+    Kind kind;
+    WordAddr addr = 0; ///< Poke target
+    Word value = 0;    ///< Poke value / write seed
+    VectorCommand cmd; ///< Read/Write vector
+};
+
+/** A parsed trace. */
+struct TraceFile
+{
+    std::vector<TraceOp> ops;
+};
+
+/**
+ * Parse a trace from @p in. Throws no exceptions: returns false and
+ * fills @p error (with a line number) on malformed input.
+ */
+bool parseTrace(std::istream &in, TraceFile &out, std::string &error);
+
+/** Result of replaying a trace. */
+struct ReplayResult
+{
+    Cycle cycles = 0;
+    std::uint64_t commands = 0;
+    /** Order-independent checksum over all gathered read data. */
+    std::uint64_t readChecksum = 0;
+};
+
+/** Replay @p trace against @p sys until every command completes. */
+ReplayResult replayTrace(MemorySystem &sys, const TraceFile &trace);
+
+} // namespace pva
+
+#endif // PVA_KERNELS_TRACE_FILE_HH

@@ -1,0 +1,206 @@
+#include "sdram/device.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+bool
+BankDevice::popReady(Cycle now, ReadReturn &out)
+{
+    if (pending.empty() || pending.front().readyAt > now)
+        return false;
+    out = pending.front();
+    pending.pop_front();
+    return true;
+}
+
+SdramDevice::SdramDevice(std::string name, unsigned bank_index,
+                         const Geometry &geo, const SdramTiming &timing,
+                         SparseMemory &backing)
+    : BankDevice(std::move(name), bank_index, geo, backing), times(timing),
+      ibanks(geo.internalBanks())
+{
+}
+
+Cycle
+SdramDevice::dataCycleOf(const DeviceOp &op, Cycle now) const
+{
+    // Read data appears after the CAS latency; write data is driven on
+    // the cycle after the command (the controller owns the pins then).
+    return op.kind == DeviceOp::Kind::Read ? now + times.tCL : now + 1;
+}
+
+void
+SdramDevice::tick(Cycle now)
+{
+    if (times.tREFI == 0)
+        return;
+    Cycle boundary = (now / times.tREFI) * times.tREFI;
+    if (boundary == 0 || boundary == lastRefreshApplied)
+        return;
+    lastRefreshApplied = boundary;
+    refreshBusyUntil = boundary + times.tRFC;
+    ++statRefreshes;
+    for (InternalBank &ib : ibanks) {
+        ib.open = false;
+        ib.activateReadyAt =
+            std::max(ib.activateReadyAt, refreshBusyUntil);
+    }
+}
+
+bool
+SdramDevice::canIssue(const DeviceOp &op, Cycle now) const
+{
+    if (lastCommandCycle != kNeverCycle && now <= lastCommandCycle)
+        return false; // one command per cycle on the command bus
+    if (now < refreshBusyUntil)
+        return false; // mid-refresh: the whole device is unavailable
+
+    switch (op.kind) {
+      case DeviceOp::Kind::Activate: {
+        DeviceCoords c = geometry.decompose(op.addr);
+        const InternalBank &ib = ibanks[c.internalBank];
+        return !ib.open && now >= ib.activateReadyAt;
+      }
+      case DeviceOp::Kind::Precharge: {
+        const InternalBank &ib = ibanks[op.internalBank];
+        return ib.open && now >= ib.prechargeReadyAt;
+      }
+      case DeviceOp::Kind::Read:
+      case DeviceOp::Kind::Write: {
+        DeviceCoords c = geometry.decompose(op.addr);
+        const InternalBank &ib = ibanks[c.internalBank];
+        if (!ib.open || ib.row != c.row || now < ib.accessReadyAt)
+            return false;
+        // With auto-precharge the device delays the internal precharge
+        // until tRAS/tWR allow, so no extra condition here.
+        Cycle data = dataCycleOf(op, now);
+        if (anyDataYet) {
+            bool is_read = op.kind == DeviceOp::Kind::Read;
+            // One word per pin-cycle, monotonically increasing.
+            if (data <= lastDataCycle)
+                return false;
+            // One-cycle turnaround on polarity reversal (section 5.2.5).
+            if (is_read != lastDataWasRead && data < lastDataCycle + 2)
+                return false;
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+SdramDevice::issue(const DeviceOp &op, Cycle now)
+{
+    if (!canIssue(op, now))
+        panic("%s: illegal %d issued at cycle %llu", name().c_str(),
+              static_cast<int>(op.kind),
+              static_cast<unsigned long long>(now));
+    lastCommandCycle = now;
+
+    switch (op.kind) {
+      case DeviceOp::Kind::Activate: {
+        DeviceCoords c = geometry.decompose(op.addr);
+        InternalBank &ib = ibanks[c.internalBank];
+        ib.open = true;
+        ib.row = c.row;
+        ib.lastOpenedRow = c.row;
+        ib.everOpened = true;
+        ib.freshActivate = true;
+        ib.accessReadyAt = now + times.tRCD;
+        ib.prechargeReadyAt = now + times.tRAS;
+        ib.activateReadyAt = now + times.tRC;
+        ++statActivates;
+        break;
+      }
+      case DeviceOp::Kind::Precharge: {
+        InternalBank &ib = ibanks[op.internalBank];
+        ib.open = false;
+        ib.activateReadyAt =
+            std::max(ib.activateReadyAt, now + times.tRP);
+        ++statPrecharges;
+        break;
+      }
+      case DeviceOp::Kind::Read:
+      case DeviceOp::Kind::Write: {
+        DeviceCoords c = geometry.decompose(op.addr);
+        InternalBank &ib = ibanks[c.internalBank];
+        bool is_read = op.kind == DeviceOp::Kind::Read;
+        Cycle data = dataCycleOf(op, now);
+        lastDataCycle = data;
+        lastDataWasRead = is_read;
+        anyDataYet = true;
+
+        if (!ib.freshActivate)
+            ++statRowHitAccesses;
+        ib.freshActivate = false;
+
+        if (is_read) {
+            ++statReads;
+            pending.push_back(
+                {data, memory.read(op.addr), op.txn, op.slot});
+        } else {
+            ++statWrites;
+            memory.write(op.addr, op.writeData);
+            ib.prechargeReadyAt =
+                std::max(ib.prechargeReadyAt, data + times.tWR);
+        }
+
+        if (op.autoPrecharge) {
+            // The device performs the precharge internally once tRAS and
+            // tWR are satisfied; from the controller's view the row is
+            // closed now and a new activate is legal tRP after that.
+            Cycle internal_start =
+                std::max(ib.prechargeReadyAt,
+                         is_read ? now + 1 : data + times.tWR);
+            ib.open = false;
+            ib.activateReadyAt =
+                std::max(ib.activateReadyAt, internal_start + times.tRP);
+            ++statPrecharges;
+        }
+        break;
+      }
+    }
+}
+
+bool
+SdramDevice::anyRowOpen(unsigned ibank) const
+{
+    return ibanks[ibank].open;
+}
+
+bool
+SdramDevice::isRowOpen(unsigned ibank, std::uint32_t row) const
+{
+    return ibanks[ibank].open && ibanks[ibank].row == row;
+}
+
+std::uint32_t
+SdramDevice::openRow(unsigned ibank) const
+{
+    if (!ibanks[ibank].open)
+        panic("openRow queried on closed internal bank %u", ibank);
+    return ibanks[ibank].row;
+}
+
+std::uint32_t
+SdramDevice::lastRow(unsigned ibank) const
+{
+    return ibanks[ibank].everOpened ? ibanks[ibank].lastOpenedRow
+                                    : 0xffffffffu;
+}
+
+void
+SdramDevice::registerStats(StatSet &set, const std::string &prefix) const
+{
+    set.addScalar(prefix + ".activates", &statActivates);
+    set.addScalar(prefix + ".precharges", &statPrecharges);
+    set.addScalar(prefix + ".reads", &statReads);
+    set.addScalar(prefix + ".writes", &statWrites);
+    set.addScalar(prefix + ".rowHitAccesses", &statRowHitAccesses);
+    set.addScalar(prefix + ".refreshes", &statRefreshes);
+}
+
+} // namespace pva

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SDRAM device model with restimer-style timing enforcement.
+ *
+ * One BankDevice represents the 32-bit-wide SDRAM behind one external
+ * bank of the memory system (the prototype builds it from Micron
+ * 256 Mbit x16 parts). It has four internal banks, each with an open-row
+ * register, and enforces the timing constraints the paper's "restimers"
+ * scoreboard (section 5.2.5): tRCD, CAS latency, tRP, tRAS, tRC, tWR,
+ * plus the one-cycle data-bus turnaround on polarity reversal.
+ *
+ * Protocol: the bank controller calls canIssue() to probe legality in
+ * the current cycle and issue() to commit an operation. At most one
+ * command per cycle may be issued (one command bus). Read data appears
+ * tCL cycles later and is retrieved with popReady().
+ */
+
+#ifndef PVA_SDRAM_DEVICE_HH
+#define PVA_SDRAM_DEVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sdram/geometry.hh"
+#include "sim/component.hh"
+#include "sim/memory.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace pva
+{
+
+/** SDRAM timing parameters in memory-clock cycles. */
+struct SdramTiming
+{
+    unsigned tRCD = 2; ///< Activate to read/write (the paper's 2-cycle RAS)
+    unsigned tCL = 2;  ///< Read command to data (2-cycle CAS)
+    unsigned tRP = 2;  ///< Precharge to activate
+    unsigned tRAS = 5; ///< Activate to precharge
+    unsigned tRC = 7;  ///< Activate to activate, same internal bank
+    unsigned tWR = 2;  ///< Write data to precharge
+    /**
+     * Auto-refresh interval in cycles (0 disables refresh, the paper's
+     * idealization). A 64 ms / 8192-row part at 100 MHz refreshes every
+     * ~781 cycles.
+     */
+    unsigned tREFI = 0;
+    unsigned tRFC = 10; ///< Refresh cycle time (all banks unavailable)
+};
+
+/** One operation a bank controller can ask a device to perform. */
+struct DeviceOp
+{
+    enum class Kind { Activate, Precharge, Read, Write };
+
+    Kind kind;
+    WordAddr addr = 0;        ///< Flat word address (Read/Write/Activate)
+    bool autoPrecharge = false; ///< Read/Write with auto-precharge
+    Word writeData = 0;
+    std::uint8_t txn = 0;     ///< Transaction id tag
+    std::uint8_t slot = 0;    ///< Word index within the cache line
+    unsigned internalBank = 0; ///< For Precharge (no address needed)
+};
+
+/** A read completion: data valid on the device pins at @c readyAt. */
+struct ReadReturn
+{
+    Cycle readyAt;
+    Word data;
+    std::uint8_t txn;
+    std::uint8_t slot;
+};
+
+/**
+ * Abstract bank-storage device. SdramDevice implements the full dynamic
+ * RAM behaviour; SramDevice (sram_device.hh) the idealized static RAM of
+ * the paper's PVA-SRAM comparison system.
+ */
+class BankDevice : public Component
+{
+  public:
+    BankDevice(std::string name, unsigned bank_index, const Geometry &geo,
+               SparseMemory &backing)
+        : Component(std::move(name)), bankIndex(bank_index), geometry(geo),
+          memory(backing)
+    {
+    }
+
+    /** May @p op legally issue in cycle @p now? Side-effect free. */
+    virtual bool canIssue(const DeviceOp &op, Cycle now) const = 0;
+
+    /** Commit @p op in cycle @p now. Panics if illegal (scoreboard bug). */
+    virtual void issue(const DeviceOp &op, Cycle now) = 0;
+
+    /** Is some row open (bank active) in internal bank @p ibank? */
+    virtual bool anyRowOpen(unsigned ibank) const = 0;
+
+    /** Is row @p row open in internal bank @p ibank? */
+    virtual bool isRowOpen(unsigned ibank, std::uint32_t row) const = 0;
+
+    /** The row currently open in @p ibank (valid iff anyRowOpen()). */
+    virtual std::uint32_t openRow(unsigned ibank) const = 0;
+
+    /** Row last opened in @p ibank (valid even after close; for the
+     *  autoprecharge predictor's "last row address" input). */
+    virtual std::uint32_t lastRow(unsigned ibank) const = 0;
+
+    /** Pop a read completion whose data is valid at or before @p now. */
+    bool popReady(Cycle now, ReadReturn &out);
+
+    /** True iff no read data remains in flight. */
+    bool quiescent() const { return pending.empty(); }
+
+    unsigned bank() const { return bankIndex; }
+
+    void tick(Cycle) override {}
+
+  protected:
+    unsigned bankIndex;
+    const Geometry &geometry;
+    SparseMemory &memory;
+    std::deque<ReadReturn> pending; ///< Ordered by readyAt.
+};
+
+/** The dynamic-RAM device with full timing state. */
+class SdramDevice : public BankDevice
+{
+  public:
+    SdramDevice(std::string name, unsigned bank_index, const Geometry &geo,
+                const SdramTiming &timing, SparseMemory &backing);
+
+    bool canIssue(const DeviceOp &op, Cycle now) const override;
+    void issue(const DeviceOp &op, Cycle now) override;
+    bool anyRowOpen(unsigned ibank) const override;
+    bool isRowOpen(unsigned ibank, std::uint32_t row) const override;
+    std::uint32_t openRow(unsigned ibank) const override;
+    std::uint32_t lastRow(unsigned ibank) const override;
+
+    /**
+     * Apply pending auto-refresh: at each tREFI boundary all internal
+     * banks precharge and the device is unavailable for tRFC cycles.
+     * Called by the bank controller at the top of every cycle.
+     */
+    void tick(Cycle now) override;
+
+    /** @name Statistics @{ */
+    Scalar statActivates;
+    Scalar statPrecharges;
+    Scalar statReads;
+    Scalar statWrites;
+    Scalar statRowHitAccesses; ///< Read/write without a fresh activate
+    Scalar statRefreshes;
+    /** @} */
+
+    void registerStats(StatSet &set, const std::string &prefix) const;
+
+  private:
+    struct InternalBank
+    {
+        bool open = false;
+        std::uint32_t row = 0;
+        std::uint32_t lastOpenedRow = 0;
+        bool everOpened = false;
+        bool freshActivate = false; ///< No access since last activate
+        Cycle accessReadyAt = 0;    ///< tRCD satisfied
+        Cycle prechargeReadyAt = 0; ///< tRAS / tWR satisfied
+        Cycle activateReadyAt = 0;  ///< tRP / tRC satisfied
+    };
+
+    /** When would @p op's word occupy the device data pins? */
+    Cycle dataCycleOf(const DeviceOp &op, Cycle now) const;
+
+    SdramTiming times;
+    std::vector<InternalBank> ibanks;
+
+    Cycle lastCommandCycle = kNeverCycle; ///< One command bus per device
+    Cycle lastDataCycle = 0;              ///< Data pin occupancy high-water
+    bool lastDataWasRead = true;
+    bool anyDataYet = false;
+    Cycle lastRefreshApplied = 0;
+    Cycle refreshBusyUntil = 0;
+};
+
+} // namespace pva
+
+#endif // PVA_SDRAM_DEVICE_HH

@@ -1,0 +1,48 @@
+#include "sdram/geometry.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+Geometry::Geometry(unsigned banks, unsigned interleave, unsigned col_bits,
+                   unsigned ibank_bits, unsigned row_bits)
+    : numBanks(banks), numInterleave(interleave), columnBits(col_bits),
+      ibankBits(ibank_bits), rowAddressBits(row_bits)
+{
+    if (!isPowerOfTwo(banks))
+        fatal("bank count %u is not a power of two", banks);
+    if (!isPowerOfTwo(interleave))
+        fatal("interleave factor %u is not a power of two", interleave);
+    mBits = log2Exact(banks);
+    nBits = log2Exact(interleave);
+}
+
+DeviceCoords
+Geometry::decompose(WordAddr w) const
+{
+    WordAddr local = bankLocal(w);
+    DeviceCoords c;
+    c.col = static_cast<std::uint32_t>(local & ((1ULL << columnBits) - 1));
+    c.internalBank = static_cast<unsigned>(
+        (local >> columnBits) & ((1ULL << ibankBits) - 1));
+    c.row = static_cast<std::uint32_t>(
+        (local >> (columnBits + ibankBits)) &
+        ((1ULL << rowAddressBits) - 1));
+    return c;
+}
+
+WordAddr
+Geometry::compose(unsigned bank, const DeviceCoords &c) const
+{
+    WordAddr local = (static_cast<WordAddr>(c.row)
+                      << (columnBits + ibankBits)) |
+                     (static_cast<WordAddr>(c.internalBank) << columnBits) |
+                     c.col;
+    WordAddr block = local >> nBits;
+    WordAddr offset = local & ((1ULL << nBits) - 1);
+    return (block << (nBits + mBits)) |
+           (static_cast<WordAddr>(bank) << nBits) | offset;
+}
+
+} // namespace pva

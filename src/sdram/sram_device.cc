@@ -1,0 +1,51 @@
+#include "sdram/sram_device.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+SramDevice::SramDevice(std::string name, unsigned bank_index,
+                       const Geometry &geo, SparseMemory &backing)
+    : BankDevice(std::move(name), bank_index, geo, backing)
+{
+}
+
+bool
+SramDevice::canIssue(const DeviceOp &op, Cycle now) const
+{
+    if (lastCommandCycle != kNeverCycle && now <= lastCommandCycle)
+        return false;
+    switch (op.kind) {
+      case DeviceOp::Kind::Activate:
+      case DeviceOp::Kind::Precharge:
+        // Rows are always "open"; the scheduler never needs these.
+        return false;
+      case DeviceOp::Kind::Read:
+      case DeviceOp::Kind::Write:
+        // One word per data-pin cycle; access completes next cycle.
+        return !anyDataYet || now + 1 > lastDataCycle;
+    }
+    return false;
+}
+
+void
+SramDevice::issue(const DeviceOp &op, Cycle now)
+{
+    if (!canIssue(op, now))
+        panic("%s: illegal SRAM op at cycle %llu", name().c_str(),
+              static_cast<unsigned long long>(now));
+    lastCommandCycle = now;
+    lastDataCycle = now + 1;
+    anyDataYet = true;
+
+    if (op.kind == DeviceOp::Kind::Read) {
+        ++statReads;
+        pending.push_back({now + 1, memory.read(op.addr), op.txn, op.slot});
+    } else {
+        ++statWrites;
+        memory.write(op.addr, op.writeData);
+    }
+}
+
+} // namespace pva

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Idealized SRAM bank device for the paper's PVA-SRAM comparison.
+ *
+ * Section 6.1: "Based on static RAM, this system incurs no precharge or
+ * RAS latencies: all memory accesses take a single cycle." Rows are
+ * always considered open so the scheduler never issues activates or
+ * precharges; reads return data the next cycle. The data pins still
+ * carry at most one word per cycle so that bank-level serialization —
+ * the one source of alignment sensitivity left in an SRAM system —
+ * is preserved.
+ */
+
+#ifndef PVA_SDRAM_SRAM_DEVICE_HH
+#define PVA_SDRAM_SRAM_DEVICE_HH
+
+#include "sdram/device.hh"
+
+namespace pva
+{
+
+/** Single-cycle static-RAM bank. */
+class SramDevice : public BankDevice
+{
+  public:
+    SramDevice(std::string name, unsigned bank_index, const Geometry &geo,
+               SparseMemory &backing);
+
+    bool canIssue(const DeviceOp &op, Cycle now) const override;
+    void issue(const DeviceOp &op, Cycle now) override;
+    bool anyRowOpen(unsigned) const override { return true; }
+    bool isRowOpen(unsigned, std::uint32_t) const override { return true; }
+    std::uint32_t openRow(unsigned) const override { return 0; }
+    std::uint32_t lastRow(unsigned) const override { return 0; }
+
+    Scalar statReads;
+    Scalar statWrites;
+
+  private:
+    Cycle lastCommandCycle = kNeverCycle;
+    Cycle lastDataCycle = 0;
+    bool anyDataYet = false;
+};
+
+} // namespace pva
+
+#endif // PVA_SDRAM_SRAM_DEVICE_HH

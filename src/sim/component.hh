@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Base class for clocked hardware components.
+ *
+ * The simulator is cycle-driven: every cycle the Simulation calls tick()
+ * on each registered component in registration order. Registration order
+ * therefore defines intra-cycle signal visibility (a component ticked
+ * earlier exposes this cycle's outputs to components ticked later), which
+ * is how we model the combinational paths of the paper's design — e.g.
+ * the front end drives the vector bus before the bank controllers sample
+ * it in the same cycle.
+ */
+
+#ifndef PVA_SIM_COMPONENT_HH
+#define PVA_SIM_COMPONENT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace pva
+{
+
+/**
+ * A clocked component. Derived classes implement tick(), which is called
+ * once per simulated cycle.
+ */
+class Component
+{
+  public:
+    explicit Component(std::string name) : componentName(std::move(name)) {}
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Advance this component by one clock cycle. */
+    virtual void tick(Cycle cycle) = 0;
+
+    /** Instance name, used in stats and diagnostics. */
+    const std::string &name() const { return componentName; }
+
+  private:
+    std::string componentName;
+};
+
+} // namespace pva
+
+#endif // PVA_SIM_COMPONENT_HH

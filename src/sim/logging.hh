@@ -1,0 +1,39 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for simulator bugs (conditions that should never happen no
+ * matter what the user does); fatal() is for user errors that make it
+ * impossible to continue; warn()/inform() report status without stopping.
+ */
+
+#ifndef PVA_SIM_LOGGING_HH
+#define PVA_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pva
+{
+
+/** Abort with a message: an internal simulator invariant was violated. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message: the user asked for something unsupportable. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace pva
+
+#endif // PVA_SIM_LOGGING_HH

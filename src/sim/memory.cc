@@ -1,0 +1,31 @@
+#include "sim/memory.hh"
+
+namespace pva
+{
+
+Word
+SparseMemory::read(WordAddr addr) const
+{
+    WordAddr page_no = addr / kPageWords;
+    unsigned offset = static_cast<unsigned>(addr % kPageWords);
+    auto it = pages.find(page_no);
+    if (it == pages.end() || !it->second->written[offset])
+        return backgroundPattern(addr);
+    return it->second->data[offset];
+}
+
+void
+SparseMemory::write(WordAddr addr, Word value)
+{
+    WordAddr page_no = addr / kPageWords;
+    unsigned offset = static_cast<unsigned>(addr % kPageWords);
+    auto &page = pages[page_no];
+    if (!page) {
+        page = std::make_unique<Page>();
+        page->written.fill(false);
+    }
+    page->data[offset] = value;
+    page->written[offset] = true;
+}
+
+} // namespace pva

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests and workloads.
+ *
+ * Uses the splitmix64 generator so results are reproducible across
+ * platforms and standard-library versions.
+ */
+
+#ifndef PVA_SIM_RANDOM_HH
+#define PVA_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace pva
+{
+
+/** splitmix64: tiny, fast, and high quality enough for workload data. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound) (bound > 0). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace pva
+
+#endif // PVA_SIM_RANDOM_HH

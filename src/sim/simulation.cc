@@ -1,0 +1,30 @@
+#include "sim/simulation.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+void
+Simulation::step()
+{
+    for (Component *c : components)
+        c->tick(currentCycle);
+    ++currentCycle;
+}
+
+Cycle
+Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    Cycle start = currentCycle;
+    while (!done()) {
+        if (currentCycle - start >= max_cycles) {
+            panic("simulation watchdog expired after %llu cycles",
+                  static_cast<unsigned long long>(max_cycles));
+        }
+        step();
+    }
+    return currentCycle;
+}
+
+} // namespace pva

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cycle-driven simulation driver.
+ */
+
+#ifndef PVA_SIM_SIMULATION_HH
+#define PVA_SIM_SIMULATION_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/component.hh"
+#include "sim/types.hh"
+
+namespace pva
+{
+
+/**
+ * Owns the clock and ticks registered components in registration order.
+ *
+ * Components are not owned by the Simulation; the caller keeps them alive
+ * for the duration of the run. This mirrors the structural composition of
+ * the hardware: the top level wires up subcomponents, then the clock runs.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    /** Register a component. Order of registration is tick order. */
+    void add(Component *c) { components.push_back(c); }
+
+    /** Current cycle (number of completed ticks). */
+    Cycle now() const { return currentCycle; }
+
+    /** Advance exactly one cycle. */
+    void step();
+
+    /**
+     * Run until @p done returns true, checking after every cycle.
+     *
+     * @param done     Completion predicate.
+     * @param max_cycles  Watchdog; panics if exceeded (deadlock guard).
+     * @return the cycle count when @p done first held.
+     */
+    Cycle runUntil(const std::function<bool()> &done,
+                   Cycle max_cycles = 100000000);
+
+  private:
+    std::vector<Component *> components;
+    Cycle currentCycle = 0;
+};
+
+} // namespace pva
+
+#endif // PVA_SIM_SIMULATION_HH

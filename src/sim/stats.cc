@@ -1,0 +1,105 @@
+#include "sim/stats.hh"
+
+#include "sim/logging.hh"
+
+namespace pva
+{
+
+Distribution::Distribution(std::uint64_t bucket_width)
+    : width(bucket_width == 0 ? 1 : bucket_width)
+{
+}
+
+void
+Distribution::sample(std::uint64_t value)
+{
+    if (sampleCount == 0) {
+        minSeen = value;
+        maxSeen = value;
+    } else {
+        if (value < minSeen)
+            minSeen = value;
+        if (value > maxSeen)
+            maxSeen = value;
+    }
+    ++sampleCount;
+    sum += value;
+    std::uint64_t bucket = value / width;
+    // Cap the histogram resolution; the tail collapses into one bucket.
+    constexpr std::uint64_t max_buckets = 4096;
+    if (bucket >= max_buckets)
+        bucket = max_buckets - 1;
+    if (histogram.size() <= bucket)
+        histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+}
+
+void
+Distribution::reset()
+{
+    sampleCount = 0;
+    sum = 0;
+    minSeen = 0;
+    maxSeen = 0;
+    histogram.clear();
+}
+
+double
+Distribution::mean() const
+{
+    return sampleCount == 0
+        ? 0.0
+        : static_cast<double>(sum) / static_cast<double>(sampleCount);
+}
+
+void
+StatSet::addScalar(const std::string &name, const Scalar *stat)
+{
+    if (!scalars.emplace(name, stat).second)
+        panic("duplicate scalar stat '%s'", name.c_str());
+}
+
+void
+StatSet::addDistribution(const std::string &name, const Distribution *stat)
+{
+    if (!distributions.emplace(name, stat).second)
+        panic("duplicate distribution stat '%s'", name.c_str());
+}
+
+std::uint64_t
+StatSet::scalar(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    if (it == scalars.end())
+        panic("no scalar stat named '%s'", name.c_str());
+    return it->second->value();
+}
+
+bool
+StatSet::hasScalar(const std::string &name) const
+{
+    return scalars.find(name) != scalars.end();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : scalars)
+        os << name << " " << stat->value() << "\n";
+    for (const auto &[name, stat] : distributions) {
+        os << name << ".samples " << stat->samples() << "\n";
+        os << name << ".min " << stat->minValue() << "\n";
+        os << name << ".max " << stat->maxValue() << "\n";
+        os << name << ".mean " << stat->mean() << "\n";
+    }
+}
+
+void
+StatSet::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &[name, stat] : scalars)
+        os << name << "," << stat->value() << "\n";
+}
+
+} // namespace pva

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal gem5-flavoured statistics package.
+ *
+ * Components own Scalar and Distribution stats registered with a StatSet;
+ * harnesses dump the set as text or CSV at the end of a run.
+ */
+
+#ifndef PVA_SIM_STATS_HH
+#define PVA_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pva
+{
+
+/** A named monotonically accumulated counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++count; return *this; }
+    Scalar &operator+=(std::uint64_t n) { count += n; return *this; }
+    void reset() { count = 0; }
+
+    std::uint64_t value() const { return count; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** A sampled distribution tracking min/max/mean and a coarse histogram. */
+class Distribution
+{
+  public:
+    /** @param bucket_width width of each histogram bucket (>= 1). */
+    explicit Distribution(std::uint64_t bucket_width = 1);
+
+    void sample(std::uint64_t value);
+    void reset();
+
+    std::uint64_t samples() const { return sampleCount; }
+    std::uint64_t minValue() const { return minSeen; }
+    std::uint64_t maxValue() const { return maxSeen; }
+    double mean() const;
+
+    /** Histogram buckets: bucket i counts values in
+     *  [i*width, (i+1)*width). */
+    const std::vector<std::uint64_t> &buckets() const { return histogram; }
+    std::uint64_t bucketWidth() const { return width; }
+
+  private:
+    std::uint64_t width;
+    std::uint64_t sampleCount = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t minSeen = 0;
+    std::uint64_t maxSeen = 0;
+    std::vector<std::uint64_t> histogram;
+};
+
+/**
+ * A registry of named statistics belonging to one simulated system.
+ *
+ * Stats objects are owned by their components; the StatSet stores
+ * non-owning pointers plus dotted names (e.g. "pva.bc3.rowHits").
+ */
+class StatSet
+{
+  public:
+    void addScalar(const std::string &name, const Scalar *stat);
+    void addDistribution(const std::string &name, const Distribution *stat);
+
+    /** Look up a scalar's current value; panics if not registered. */
+    std::uint64_t scalar(const std::string &name) const;
+
+    /** True iff a scalar with this name is registered. */
+    bool hasScalar(const std::string &name) const;
+
+    /** Dump all stats, one per line, "name value" sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Dump as CSV with a header row. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    std::map<std::string, const Scalar *> scalars;
+    std::map<std::string, const Distribution *> distributions;
+};
+
+} // namespace pva
+
+#endif // PVA_SIM_STATS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the PVA simulator.
+ */
+
+#ifndef PVA_SIM_TYPES_HH
+#define PVA_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pva
+{
+
+/** A simulation cycle count (the 100 MHz memory clock of the paper). */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** A word address: byte address divided by the 4-byte word size. */
+using WordAddr = std::uint64_t;
+
+/** The 32-bit machine word the prototype memory system transfers. */
+using Word = std::uint32_t;
+
+/** Sentinel for "no cycle" / "never". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Number of bytes in a machine word (the paper uses 4-byte elements). */
+inline constexpr unsigned kWordBytes = 4;
+
+/** Returns true iff @p x is a power of two (x > 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t x)
+{
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Count of trailing zero bits; the "s" of the paper's S = sigma * 2^s. */
+constexpr unsigned
+trailingZeros(std::uint64_t x)
+{
+    unsigned n = 0;
+    while (x != 0 && (x & 1) == 0) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace pva
+
+#endif // PVA_SIM_TYPES_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Baseline memory-system tests: cost accounting (line fills, serial
+ * command cycles), functional correctness, serial ordering, and the
+ * outstanding-transaction limit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cacheline_system.hh"
+#include "baselines/gathering_system.hh"
+#include "sim/simulation.hh"
+
+namespace pva
+{
+namespace
+{
+
+VectorCommand
+cmd(WordAddr base, std::uint32_t stride, bool read = true,
+    std::uint32_t len = 32)
+{
+    VectorCommand c;
+    c.base = base;
+    c.stride = stride;
+    c.length = len;
+    c.isRead = read;
+    return c;
+}
+
+Cycle
+runOne(MemorySystem &sys, const VectorCommand &c,
+       const std::vector<Word> *wd, std::vector<Word> *out = nullptr)
+{
+    Simulation sim;
+    sim.add(&sys);
+    EXPECT_TRUE(sys.trySubmit(c, 0, wd));
+    sim.runUntil([&] {
+        auto done = sys.drainCompletions();
+        if (done.empty())
+            return false;
+        if (out)
+            *out = std::move(done.front().data);
+        return true;
+    });
+    return sim.now();
+}
+
+TEST(CacheLineSystem, DistinctLineCounting)
+{
+    // Stride 1: 32 consecutive words from an aligned base = 1 line.
+    EXPECT_EQ(CacheLineSystem::distinctLines(cmd(0, 1), 32), 1u);
+    // Unaligned base straddles two lines.
+    EXPECT_EQ(CacheLineSystem::distinctLines(cmd(16, 1), 32), 2u);
+    // Stride 32: one line per element.
+    EXPECT_EQ(CacheLineSystem::distinctLines(cmd(0, 32), 32), 32u);
+    // Stride 19: floor reuse — elements 0,1 may share a line sometimes.
+    unsigned d19 = CacheLineSystem::distinctLines(cmd(0, 19), 32);
+    EXPECT_GT(d19, 16u);
+    EXPECT_LT(d19, 32u);
+}
+
+TEST(CacheLineSystem, PaperAccountingFillsPerElement)
+{
+    CacheLineSystem sys("cl");
+    // Paper accounting: stride 19 -> floor(32/19) = 1 element per line.
+    EXPECT_EQ(sys.lineFills(cmd(0, 19)), 32u);
+    EXPECT_EQ(sys.lineFills(cmd(0, 16)), 16u);
+    EXPECT_EQ(sys.lineFills(cmd(0, 4)), 4u);
+    EXPECT_EQ(sys.lineFills(cmd(0, 1)), 1u);
+    EXPECT_EQ(sys.lineFills(cmd(0, 64)), 32u);
+}
+
+TEST(CacheLineSystem, OptimisticReuseUsesDistinctLines)
+{
+    CacheLineConfig cfg;
+    cfg.optimisticLineReuse = true;
+    CacheLineSystem sys("cl", cfg);
+    EXPECT_EQ(sys.lineFills(cmd(0, 19)),
+              CacheLineSystem::distinctLines(cmd(0, 19), 32));
+}
+
+TEST(CacheLineSystem, TwentyCyclesPerLine)
+{
+    CacheLineSystem sys("cl");
+    Cycle t = runOne(sys, cmd(0, 1), nullptr);
+    // 1 line x 20 cycles (plus a queue-entry cycle).
+    EXPECT_GE(t, 20u);
+    EXPECT_LE(t, 22u);
+    EXPECT_EQ(sys.statLineFills.value(), 1u);
+}
+
+TEST(CacheLineSystem, FunctionalGatherAndScatter)
+{
+    CacheLineSystem sys("cl");
+    std::vector<Word> wd(32);
+    for (unsigned i = 0; i < 32; ++i)
+        wd[i] = 7000 + i;
+    runOne(sys, cmd(500, 19, false), &wd);
+    std::vector<Word> rd;
+    runOne(sys, cmd(500, 19, true), nullptr, &rd);
+    EXPECT_EQ(rd, wd);
+}
+
+TEST(CacheLineSystem, SerialQueueCompletesInOrder)
+{
+    CacheLineSystem sys("cl");
+    Simulation sim;
+    sim.add(&sys);
+    for (std::uint64_t t = 0; t < 4; ++t)
+        ASSERT_TRUE(sys.trySubmit(cmd(t * 4096, 1), t, nullptr));
+    EXPECT_FALSE(sys.busy() == false);
+    std::vector<std::uint64_t> order;
+    sim.runUntil([&] {
+        for (Completion &c : sys.drainCompletions())
+            order.push_back(c.tag);
+        return order.size() == 4;
+    });
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(CacheLineSystem, EightOutstandingLimit)
+{
+    CacheLineSystem sys("cl");
+    for (std::uint64_t t = 0; t < 8; ++t)
+        ASSERT_TRUE(sys.trySubmit(cmd(t, 1), t, nullptr));
+    EXPECT_FALSE(sys.trySubmit(cmd(0, 1), 9, nullptr));
+}
+
+TEST(GatheringSystem, CommandCycleAccounting)
+{
+    GatheringSystem sys("ga");
+    // tRP + tRCD + tCL + L + L/2 = 2+2+2+32+16 = 54.
+    EXPECT_EQ(sys.commandCycles(cmd(0, 19)), 54u);
+    EXPECT_EQ(sys.commandCycles(cmd(0, 1, true, 16)), 30u);
+}
+
+TEST(GatheringSystem, CostIsStrideIndependent)
+{
+    Cycle prev = 0;
+    for (std::uint32_t s : {1u, 4u, 19u, 100u}) {
+        GatheringSystem sys("ga");
+        Cycle t = runOne(sys, cmd(0, s), nullptr);
+        if (prev) {
+            EXPECT_EQ(t, prev) << "gathering cost ignores stride";
+        }
+        prev = t;
+    }
+}
+
+TEST(GatheringSystem, FunctionalRoundTrip)
+{
+    GatheringSystem sys("ga");
+    std::vector<Word> wd(32);
+    for (unsigned i = 0; i < 32; ++i)
+        wd[i] = 1234 + 3 * i;
+    runOne(sys, cmd(321, 7, false), &wd);
+    std::vector<Word> rd;
+    runOne(sys, cmd(321, 7, true), nullptr, &rd);
+    EXPECT_EQ(rd, wd);
+    EXPECT_EQ(sys.statElements.value(), 64u);
+}
+
+TEST(Baselines, AgreeFunctionallyWithEachOther)
+{
+    // Same writes through both systems leave the same memory image.
+    CacheLineSystem a("cl");
+    GatheringSystem b("ga");
+    std::vector<Word> wd(32);
+    for (unsigned i = 0; i < 32; ++i)
+        wd[i] = i * i;
+    runOne(a, cmd(77, 5, false), &wd);
+    runOne(b, cmd(77, 5, false), &wd);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(a.memory().read(77 + 5 * i), b.memory().read(77 + 5 * i));
+}
+
+} // anonymous namespace
+} // namespace pva

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * L2 cache and shadow-region tests: hit/miss behaviour, LRU
+ * replacement, write-back correctness, utilization accounting, and the
+ * Impulse shadow remapping semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cacheline_system.hh"
+#include "cache/l2_cache.hh"
+#include "core/pva_unit.hh"
+#include "core/shadow.hh"
+#include "sim/simulation.hh"
+
+namespace pva
+{
+namespace
+{
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CacheTest() : mem("mem", PvaConfig{})
+    {
+        sim.add(&mem);
+        cfg.sets = 4;
+        cfg.ways = 2;
+        cfg.lineWords = 32;
+        cache = std::make_unique<L2Cache>(cfg, mem, sim);
+    }
+
+    PvaUnit mem;
+    Simulation sim;
+    CacheConfig cfg;
+    std::unique_ptr<L2Cache> cache;
+};
+
+TEST_F(CacheTest, MissThenHit)
+{
+    mem.memory().write(100, 42);
+    EXPECT_EQ(cache->read(100), 42u);
+    EXPECT_EQ(cache->statMisses.value(), 1u);
+    EXPECT_EQ(cache->read(100), 42u);
+    EXPECT_EQ(cache->read(101), SparseMemory::backgroundPattern(101));
+    EXPECT_EQ(cache->statHits.value(), 2u) << "same line";
+    EXPECT_EQ(cache->statMisses.value(), 1u);
+}
+
+TEST_F(CacheTest, LruEvictsOldestWay)
+{
+    // Three lines mapping to the same set (4 sets x 32 words: lines
+    // 128 words apart in the same set) in a 2-way set.
+    const WordAddr a = 0, b = 4 * 32, c = 8 * 32;
+    cache->read(a);
+    cache->read(b);
+    cache->read(a); // refresh a's LRU stamp
+    cache->read(c); // evicts b
+    EXPECT_EQ(cache->statMisses.value(), 3u);
+    cache->read(a);
+    EXPECT_EQ(cache->statMisses.value(), 3u) << "a still resident";
+    cache->read(b);
+    EXPECT_EQ(cache->statMisses.value(), 4u) << "b was evicted";
+}
+
+TEST_F(CacheTest, WritebackOnDirtyEviction)
+{
+    const WordAddr a = 0, b = 4 * 32, c = 8 * 32;
+    cache->write(a, 0x1111);
+    cache->read(b);
+    cache->read(c); // evicts dirty a -> writeback
+    EXPECT_EQ(cache->statWritebacks.value(), 1u);
+    EXPECT_EQ(mem.memory().read(a), 0x1111u);
+    // Re-reading a misses and returns the written value.
+    EXPECT_EQ(cache->read(a), 0x1111u);
+}
+
+TEST_F(CacheTest, FlushWritesAllDirtyLines)
+{
+    cache->write(10, 7);
+    cache->write(200, 8);
+    EXPECT_NE(mem.memory().read(10), 7u) << "still dirty in cache";
+    cache->flush();
+    EXPECT_EQ(mem.memory().read(10), 7u);
+    EXPECT_EQ(mem.memory().read(200), 8u);
+    EXPECT_EQ(cache->statWritebacks.value(), 2u);
+}
+
+TEST_F(CacheTest, UtilizationCountsDistinctTouchedWords)
+{
+    cache->read(0);
+    cache->read(0); // same word twice: one use
+    cache->read(5);
+    EXPECT_EQ(cache->statWordsFetched.value(), 32u);
+    EXPECT_EQ(cache->statWordsUsed.value(), 2u);
+    EXPECT_NEAR(cache->busUtilization(), 2.0 / 32.0, 1e-9);
+}
+
+TEST_F(CacheTest, StridedWalkWastesBandwidth)
+{
+    // One word used per fetched line at stride 32.
+    for (WordAddr i = 0; i < 16; ++i)
+        cache->read(i * 32);
+    EXPECT_EQ(cache->statMisses.value(), 16u);
+    EXPECT_NEAR(cache->busUtilization(), 1.0 / 32.0, 1e-9);
+}
+
+TEST(ShadowRegion, RemapsUnitStrideFillsToGathers)
+{
+    PvaUnit inner("pva", PvaConfig{});
+    ShadowMemorySystem shadow("shadow", inner);
+    shadow.mapShadow({1 << 20, 1024, 5000, 32});
+    Simulation sim;
+    sim.add(&shadow);
+
+    for (std::uint32_t i = 0; i < 64; ++i)
+        inner.memory().write(5000 + 32ull * i, 0x8800 + i);
+
+    VectorCommand c;
+    c.base = (1 << 20) + 16; // shadow element 16
+    c.stride = 1;
+    c.length = 32;
+    c.isRead = true;
+    ASSERT_TRUE(shadow.trySubmit(c, 0, nullptr));
+    std::vector<Word> data;
+    sim.runUntil([&] {
+        auto done = shadow.drainCompletions();
+        if (done.empty())
+            return false;
+        data = std::move(done.front().data);
+        return true;
+    });
+    ASSERT_EQ(data.size(), 32u);
+    for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(data[i], 0x8800 + 16 + i);
+    EXPECT_EQ(shadow.remappedCommands(), 1u);
+}
+
+TEST(ShadowRegion, NonShadowCommandsPassThrough)
+{
+    PvaUnit inner("pva", PvaConfig{});
+    ShadowMemorySystem shadow("shadow", inner);
+    shadow.mapShadow({1 << 20, 64, 5000, 8});
+    Simulation sim;
+    sim.add(&shadow);
+
+    VectorCommand c;
+    c.base = 123;
+    c.stride = 3;
+    c.length = 32;
+    c.isRead = true;
+    ASSERT_TRUE(shadow.trySubmit(c, 0, nullptr));
+    std::vector<Word> data;
+    sim.runUntil([&] {
+        auto done = shadow.drainCompletions();
+        if (done.empty())
+            return false;
+        data = std::move(done.front().data);
+        return true;
+    });
+    for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(data[i], SparseMemory::backgroundPattern(123 + 3ull * i));
+    EXPECT_EQ(shadow.remappedCommands(), 0u);
+}
+
+TEST(ShadowRegion, StridedShadowAccessComposesStrides)
+{
+    // Reading every 2nd shadow element = every 2*stride real words.
+    PvaUnit inner("pva", PvaConfig{});
+    ShadowMemorySystem shadow("shadow", inner);
+    shadow.mapShadow({1 << 20, 256, 9000, 5});
+    Simulation sim;
+    sim.add(&shadow);
+
+    VectorCommand c;
+    c.base = 1 << 20;
+    c.stride = 2;
+    c.length = 32;
+    c.isRead = true;
+    ASSERT_TRUE(shadow.trySubmit(c, 0, nullptr));
+    std::vector<Word> data;
+    sim.runUntil([&] {
+        auto done = shadow.drainCompletions();
+        if (done.empty())
+            return false;
+        data = std::move(done.front().data);
+        return true;
+    });
+    for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(data[i],
+                  SparseMemory::backgroundPattern(9000 + 10ull * i));
+}
+
+TEST(ShadowRegionDeath, RejectsBadRegions)
+{
+    PvaUnit inner("pva", PvaConfig{});
+    ShadowMemorySystem shadow("shadow", inner);
+    shadow.mapShadow({1000, 100, 0, 4});
+    EXPECT_EXIT(shadow.mapShadow({1050, 100, 0, 4}),
+                ::testing::ExitedWithCode(1), "overlap");
+    EXPECT_EXIT(shadow.mapShadow({5000, 0, 0, 4}),
+                ::testing::ExitedWithCode(1), "length");
+
+    VectorCommand crossing;
+    crossing.base = 1090;
+    crossing.stride = 1;
+    crossing.length = 32; // runs past shadow end at 1100
+    crossing.isRead = true;
+    EXPECT_EXIT(shadow.trySubmit(crossing, 0, nullptr),
+                ::testing::ExitedWithCode(1), "boundary");
+}
+
+TEST(CacheWithShadow, ShadowPathReachesFullUtilization)
+{
+    PvaUnit inner("pva", PvaConfig{});
+    ShadowMemorySystem shadow("shadow", inner);
+    shadow.mapShadow({1 << 20, 512, 7777, 32});
+    Simulation sim;
+    sim.add(&shadow);
+    CacheConfig cfg;
+    cfg.sets = 4;
+    cfg.ways = 2;
+    L2Cache cache(cfg, shadow, sim);
+
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < 512; ++i)
+        sum += cache.read((1 << 20) + i);
+    EXPECT_DOUBLE_EQ(cache.busUtilization(), 1.0);
+    EXPECT_EQ(cache.statMisses.value(), 512u / 32);
+    (void)sum;
+}
+
+} // anonymous namespace
+} // namespace pva

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hardware-complexity model tests: the default configuration reproduces
+ * the paper's Table 1 exactly, and the counts scale in the right
+ * direction with each structural parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/complexity.hh"
+
+namespace pva
+{
+namespace
+{
+
+TEST(Complexity, DefaultMatchesTable1)
+{
+    GateCounts g = estimateBankController(BcParameters{});
+    EXPECT_EQ(g.and2, 1193u);
+    EXPECT_EQ(g.dff, 1039u);
+    EXPECT_EQ(g.dlatch, 32u);
+    EXPECT_EQ(g.inv, 1627u);
+    EXPECT_EQ(g.mux2, 183u);
+    EXPECT_EQ(g.nand2, 5488u);
+    EXPECT_EQ(g.nor2, 843u);
+    EXPECT_EQ(g.or2, 194u);
+    EXPECT_EQ(g.xor2, 500u);
+    EXPECT_EQ(g.pulldown, 13u);
+    EXPECT_EQ(g.tristate, 1849u);
+    EXPECT_EQ(g.ramBytes, 2048u); // 2 KB staging RAM
+}
+
+TEST(Complexity, MoreVectorContextsCostMoreState)
+{
+    BcParameters p;
+    GateCounts base = estimateBankController(p);
+    p.vectorContexts = 8;
+    GateCounts big = estimateBankController(p);
+    EXPECT_GT(big.dff, base.dff);
+    EXPECT_GT(big.xor2, base.xor2) << "more next-address adders";
+    EXPECT_GT(big.totalGates(), base.totalGates());
+}
+
+TEST(Complexity, DeeperFifoCostsMoreRegisterFile)
+{
+    BcParameters p;
+    GateCounts base = estimateBankController(p);
+    p.fifoEntries = 16;
+    GateCounts big = estimateBankController(p);
+    EXPECT_GT(big.dff, base.dff);
+    EXPECT_GT(big.tristate, base.tristate) << "more RF bit lines";
+}
+
+TEST(Complexity, K1PlaShrinksTheFabricAtManyBanks)
+{
+    BcParameters full, k1;
+    full.banks = 128;
+    k1.banks = 128;
+    k1.plaVariant = FirstHitPla::Variant::K1Multiply;
+    EXPECT_LT(estimateBankController(k1).totalGates(),
+              estimateBankController(full).totalGates() / 2)
+        << "section 4.3.1: the K1 organization is the scalable one";
+}
+
+TEST(Complexity, StagingRamScalesWithTransactionsAndLine)
+{
+    BcParameters p;
+    p.transactions = 4;
+    EXPECT_EQ(estimateBankController(p).ramBytes, 1024u);
+    p.transactions = 8;
+    p.lineBytes = 256;
+    EXPECT_EQ(estimateBankController(p).ramBytes, 4096u);
+}
+
+TEST(Complexity, PrintTable1Format)
+{
+    std::ostringstream os;
+    printTable1(os, estimateBankController(BcParameters{}));
+    std::string s = os.str();
+    EXPECT_NE(s.find("NAND2            5488"), std::string::npos);
+    EXPECT_NE(s.find("On-chip RAM      2048 bytes"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace pva

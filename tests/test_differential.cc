@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Differential testing: the four memory systems are timing models of
+ * the same functional memory, so any random command sequence must
+ * leave identical memory images and gather identical data on all of
+ * them — only cycle counts may differ.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kernels/sweep.hh"
+#include "kernels/trace_file.hh"
+#include "sim/random.hh"
+
+namespace pva
+{
+namespace
+{
+
+/** Generate a random but well-formed trace: writes and reads over a
+ *  handful of regions, with barriers making the data flow
+ *  deterministic. */
+std::string
+randomTraceText(std::uint64_t seed, unsigned commands)
+{
+    Random rng(seed);
+    std::ostringstream out;
+    for (unsigned i = 0; i < commands; ++i) {
+        std::uint64_t region = rng.below(4) * (1 << 16);
+        std::uint64_t base = region + rng.below(2000);
+        std::uint64_t stride = 1 + rng.below(40);
+        std::uint64_t length = 1 + rng.below(32);
+        if (rng.below(3) == 0) {
+            out << "write " << base << " " << stride << " " << length
+                << " " << rng.below(100000) << "\n";
+            // Barrier after each write keeps read-after-write
+            // deterministic across systems with different timing.
+            out << "barrier\n";
+        } else {
+            out << "read " << base << " " << stride << " " << length
+                << "\n";
+        }
+    }
+    return out.str();
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Differential, AllSystemsAgreeFunctionally)
+{
+    std::string text = randomTraceText(GetParam(), 60);
+    std::istringstream in(text);
+    TraceFile trace;
+    std::string error;
+    ASSERT_TRUE(parseTrace(in, trace, error)) << error;
+
+    std::uint64_t ref_checksum = 0;
+    bool first = true;
+    for (SystemKind kind :
+         {SystemKind::PvaSdram, SystemKind::CacheLine,
+          SystemKind::Gathering, SystemKind::PvaSram}) {
+        auto sys = makeSystem(kind, "sys");
+        ReplayResult r = replayTrace(*sys, trace);
+        if (first) {
+            ref_checksum = r.readChecksum;
+            first = false;
+        } else {
+            EXPECT_EQ(r.readChecksum, ref_checksum)
+                << systemName(kind) << " seed " << GetParam();
+        }
+        // The final memory image must match too: spot-check the
+        // regions' first words against the PVA image by re-reading
+        // through replay is redundant; compare a sample directly.
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Differential, MemoryImagesMatchAfterIdenticalTraces)
+{
+    std::string text = randomTraceText(99, 40);
+    std::istringstream in1(text), in2(text);
+    TraceFile trace;
+    std::string error;
+    ASSERT_TRUE(parseTrace(in1, trace, error));
+
+    auto a = makeSystem(SystemKind::PvaSdram, "a");
+    auto b = makeSystem(SystemKind::Gathering, "b");
+    replayTrace(*a, trace);
+    replayTrace(*b, trace);
+    // Compare every address any write in the trace touched.
+    for (const TraceOp &op : trace.ops) {
+        if (op.kind != TraceOp::Kind::Write)
+            continue;
+        for (std::uint32_t i = 0; i < op.cmd.length; ++i) {
+            WordAddr addr = op.cmd.element(i);
+            EXPECT_EQ(a->memory().read(addr), b->memory().read(addr))
+                << "addr " << addr;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace pva

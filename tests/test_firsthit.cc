@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit and property tests for the chapter 4 FirstHit/NextHit algorithms:
+ * the fast word-interleave theorems against the brute-force definition,
+ * over the full (bank count, stride, base, length) parameter space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/firsthit.hh"
+
+namespace pva
+{
+namespace
+{
+
+TEST(DecomposeStride, OddStrideHasZeroS)
+{
+    StrideDecomposition d = decomposeStride(19, 4);
+    EXPECT_EQ(d.strideModM, 3u); // 19 mod 16
+    EXPECT_EQ(d.s, 0u);
+    EXPECT_EQ(d.sigma, 3u);
+    EXPECT_EQ(d.delta, 16u); // 2^(4-0): all 16 banks hit
+}
+
+TEST(DecomposeStride, PaperExampleStride12)
+{
+    // S = 12 = 3 * 2^2, so s = 2: only every 4th bank hit.
+    StrideDecomposition d = decomposeStride(12, 4);
+    EXPECT_EQ(d.s, 2u);
+    EXPECT_EQ(d.sigma, 3u);
+    EXPECT_EQ(d.delta, 4u);
+}
+
+TEST(DecomposeStride, MultipleOfMStaysInOneBank)
+{
+    StrideDecomposition d = decomposeStride(32, 4);
+    EXPECT_TRUE(d.wholeVectorInOneBank());
+    EXPECT_EQ(d.delta, 1u);
+}
+
+TEST(ComputeK1, IsModularInverseOfSigma)
+{
+    // K1 = sigma^-1 mod 2^(m-s): verify (K1 * sigma) mod 2^(m-s) == 1.
+    for (unsigned m = 1; m <= 8; ++m) {
+        const std::uint32_t M = 1u << m;
+        for (std::uint32_t sm = 1; sm < M; ++sm) {
+            unsigned s = trailingZeros(sm);
+            std::uint32_t sigma = sm >> s;
+            std::uint32_t delta = 1u << (m - s);
+            std::uint32_t k1 = computeK1(sm, m);
+            EXPECT_LT(k1, delta) << "K1 < 2^(m-s) (theorem 4.3 basis)";
+            EXPECT_EQ((static_cast<std::uint64_t>(k1) * sigma) % delta,
+                      1u % delta)
+                << "m=" << m << " sm=" << sm;
+        }
+    }
+}
+
+TEST(NextHitWord, PaperStride10Example)
+{
+    // M = 16, stride 10 = 5 * 2^1: delta = 2^(4-1) = 8 — consecutive
+    // elements hit banks 2,12,6,0,10,4,14,8,2,... (period 8).
+    EXPECT_EQ(nextHitWord(10, 4), 8u);
+    VectorCommand v;
+    v.base = 2;
+    v.stride = 10;
+    v.length = 32;
+    Geometry geo(16, 1);
+    std::vector<unsigned> banks;
+    for (unsigned i = 0; i < 9; ++i)
+        banks.push_back(geo.bankOf(v.element(i)));
+    EXPECT_EQ(banks, (std::vector<unsigned>{2, 12, 6, 0, 10, 4, 14, 8, 2}));
+}
+
+/** Parameter point for the exhaustive fast-vs-brute sweep. */
+struct SweepParam
+{
+    unsigned m;
+    std::uint32_t stride;
+};
+
+class FirstHitSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(FirstHitSweep, MatchesBruteForceForAllBanksAndBases)
+{
+    const auto [m, stride] = GetParam();
+    const unsigned M = 1u << m;
+    Geometry geo(M, 1);
+    for (std::uint32_t base : {0u, 1u, 5u, M - 1, M + 3, 1000u}) {
+        for (std::uint32_t length : {1u, 7u, 32u}) {
+            VectorCommand v;
+            v.base = base;
+            v.stride = stride;
+            v.length = length;
+            for (unsigned b = 0; b < M; ++b) {
+                FirstHit fast = firstHitWord(v, b, m);
+                FirstHit brute = firstHitBrute(v, b, geo);
+                EXPECT_EQ(fast, brute)
+                    << "m=" << m << " S=" << stride << " B=" << base
+                    << " L=" << length << " bank=" << b;
+            }
+        }
+    }
+}
+
+std::vector<SweepParam>
+sweepParams()
+{
+    std::vector<SweepParam> p;
+    for (unsigned m : {1u, 2u, 3u, 4u, 5u}) {
+        for (std::uint32_t s = 1; s <= (2u << m) + 3; ++s)
+            p.push_back({m, s});
+    }
+    return p;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrides, FirstHitSweep,
+                         ::testing::ValuesIn(sweepParams()));
+
+TEST(SubVector, PartitionsTheVectorAcrossBanks)
+{
+    // Every vector index must appear in exactly one bank's sub-vector.
+    for (unsigned m : {2u, 4u}) {
+        const unsigned M = 1u << m;
+        for (std::uint32_t stride = 1; stride <= 2 * M + 1; ++stride) {
+            for (std::uint32_t base : {0u, 3u, 17u}) {
+                VectorCommand v;
+                v.base = base;
+                v.stride = stride;
+                v.length = 32;
+                std::vector<unsigned> hit_count(v.length, 0);
+                for (unsigned b = 0; b < M; ++b) {
+                    SubVector sv = subVectorWord(v, b, m);
+                    if (!sv.hit)
+                        continue;
+                    for (std::uint32_t j = 0; j < sv.count; ++j) {
+                        std::uint32_t idx = sv.index(j);
+                        ASSERT_LT(idx, v.length);
+                        ++hit_count[idx];
+                    }
+                }
+                for (std::uint32_t i = 0; i < v.length; ++i) {
+                    EXPECT_EQ(hit_count[i], 1u)
+                        << "m=" << m << " S=" << stride << " B=" << base
+                        << " index " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(SubVector, ElementsActuallyLiveInTheBank)
+{
+    Geometry geo(16, 1);
+    for (std::uint32_t stride = 1; stride <= 40; ++stride) {
+        VectorCommand v;
+        v.base = 12345;
+        v.stride = stride;
+        v.length = 32;
+        for (unsigned b = 0; b < 16; ++b) {
+            SubVector sv = subVectorWord(v, b, 4);
+            for (std::uint32_t j = 0; sv.hit && j < sv.count; ++j) {
+                EXPECT_EQ(geo.bankOf(v.element(sv.index(j))), b)
+                    << "S=" << stride << " bank=" << b << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(ExpandBankIndices, MatchesBruteForceUnderBlockInterleave)
+{
+    // Section 4.1.3: the logical-bank transform must reproduce the
+    // physical bank assignment for cache-line interleaved systems.
+    for (unsigned interleave : {1u, 2u, 4u, 8u}) {
+        Geometry geo(8, interleave);
+        for (std::uint32_t stride = 1; stride <= 20; ++stride) {
+            for (std::uint32_t base : {0u, 5u, 63u}) {
+                VectorCommand v;
+                v.base = base;
+                v.stride = stride;
+                v.length = 32;
+                for (unsigned b = 0; b < 8; ++b) {
+                    std::vector<std::uint32_t> expect;
+                    for (std::uint32_t i = 0; i < v.length; ++i) {
+                        if (geo.bankOf(v.element(i)) == b)
+                            expect.push_back(i);
+                    }
+                    EXPECT_EQ(expandBankIndices(v, b, geo), expect)
+                        << "N=" << interleave << " S=" << stride
+                        << " B=" << base << " bank=" << b;
+                }
+            }
+        }
+    }
+}
+
+TEST(NextHitRecursive, MatchesBruteForceOverParameterSpace)
+{
+    // The section 4.1.2 recursive algorithm vs the definitional scan,
+    // across block sizes, system sizes, offsets and strides.
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        for (std::uint32_t nm : {n * 4, n * 8, n * 16}) {
+            for (std::uint32_t theta = 0; theta < n; ++theta) {
+                for (std::uint32_t stride = 1; stride < nm; ++stride) {
+                    auto brute = nextHitBrute(theta, stride, n, nm);
+                    ASSERT_TRUE(brute.has_value())
+                        << "theta=" << theta << " S=" << stride
+                        << " N=" << n << " NM=" << nm;
+                    EXPECT_EQ(nextHitRecursive(theta, stride, n, nm),
+                              *brute)
+                        << "theta=" << theta << " S=" << stride
+                        << " N=" << n << " NM=" << nm;
+                }
+            }
+        }
+    }
+}
+
+TEST(NextHitWord, AgreesWithRecursiveForWordInterleave)
+{
+    // For N = 1 the general algorithm must reduce to theorem 4.4.
+    for (unsigned m : {2u, 3u, 4u}) {
+        const std::uint32_t M = 1u << m;
+        for (std::uint32_t stride = 1; stride < M; ++stride)
+            EXPECT_EQ(nextHitRecursive(0, stride, 1, M),
+                      nextHitWord(stride, m))
+                << "m=" << m << " S=" << stride;
+    }
+}
+
+TEST(FirstHit, ZeroLengthNeverHits)
+{
+    VectorCommand v;
+    v.base = 0;
+    v.stride = 1;
+    v.length = 0;
+    EXPECT_FALSE(firstHitWord(v, 0, 4).hit);
+}
+
+TEST(FirstHit, PaperCase1Example)
+{
+    // B=0, S=8, L=16 with M=8 banks (word view): banks 0,2,4,6 repeat.
+    // (The paper's example uses N=4,M=8; in word view NM=32, S=8.)
+    VectorCommand v;
+    v.base = 0;
+    v.stride = 8;
+    v.length = 16;
+    Geometry geo(32, 1);
+    std::vector<unsigned> seq;
+    for (unsigned i = 0; i < 8; ++i)
+        seq.push_back(geo.bankOf(v.element(i)));
+    EXPECT_EQ(seq, (std::vector<unsigned>{0, 8, 16, 24, 0, 8, 16, 24}));
+}
+
+} // anonymous namespace
+} // namespace pva

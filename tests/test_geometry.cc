@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Address-mapping tests: bank decode, device coordinates, and the
+ * compose/decompose round trip for word and block interleaves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sdram/geometry.hh"
+
+namespace pva
+{
+namespace
+{
+
+TEST(Geometry, DefaultsMatchThePrototype)
+{
+    Geometry geo;
+    EXPECT_EQ(geo.banks(), 16u);
+    EXPECT_EQ(geo.bankBits(), 4u);
+    EXPECT_EQ(geo.interleave(), 1u);
+    EXPECT_EQ(geo.internalBanks(), 4u);
+    // Micron 256 Mbit class: 8192 rows x 4 banks x 512 cols.
+    EXPECT_EQ(geo.wordsPerBank(), 8192ull * 4 * 512);
+}
+
+TEST(Geometry, WordInterleaveBankIsLowBits)
+{
+    Geometry geo(16, 1);
+    for (WordAddr w : {0ull, 1ull, 15ull, 16ull, 31ull, 12345ull})
+        EXPECT_EQ(geo.bankOf(w), w % 16);
+}
+
+TEST(Geometry, CacheLineInterleaveBankSkipsBlockOffset)
+{
+    // N = 32-word lines over 16 banks: DecodeBank = (w >> 5) mod 16.
+    Geometry geo(16, 32);
+    EXPECT_EQ(geo.bankOf(0), 0u);
+    EXPECT_EQ(geo.bankOf(31), 0u);
+    EXPECT_EQ(geo.bankOf(32), 1u);
+    EXPECT_EQ(geo.bankOf(32 * 16), 0u);
+    EXPECT_EQ(geo.bankOf(32 * 17 + 5), 1u);
+}
+
+TEST(Geometry, BankLocalIsDenseWithinOneBank)
+{
+    Geometry geo(4, 2);
+    // Bank 1 holds words 2,3, 10,11, 18,19, ... — local indices 0,1,2,...
+    std::vector<WordAddr> bank1;
+    for (WordAddr w = 0; w < 64; ++w) {
+        if (geo.bankOf(w) == 1)
+            bank1.push_back(geo.bankLocal(w));
+    }
+    for (std::size_t i = 0; i < bank1.size(); ++i)
+        EXPECT_EQ(bank1[i], i);
+}
+
+TEST(Geometry, ComposeInvertsDecompose)
+{
+    for (unsigned interleave : {1u, 4u}) {
+        Geometry geo(16, interleave, 9, 2, 13);
+        for (WordAddr w : {WordAddr{0}, WordAddr{17}, WordAddr{511},
+                           WordAddr{8192}, WordAddr{1234567},
+                           geo.wordsPerBank() * 16 - 1}) {
+            unsigned bank = geo.bankOf(w);
+            DeviceCoords c = geo.decompose(w);
+            EXPECT_EQ(geo.compose(bank, c), w) << "w=" << w;
+            EXPECT_LT(c.col, 512u);
+            EXPECT_LT(c.internalBank, 4u);
+            EXPECT_LT(c.row, 8192u);
+        }
+    }
+}
+
+TEST(Geometry, ConsecutiveWordsInBankSweepColumnsFirst)
+{
+    Geometry geo(16, 1);
+    // Words 0, 16, 32 ... live in bank 0 at columns 0, 1, 2 ...
+    for (unsigned i = 0; i < 512; ++i) {
+        DeviceCoords c = geo.decompose(static_cast<WordAddr>(i) * 16);
+        EXPECT_EQ(c.col, i);
+        EXPECT_EQ(c.internalBank, 0u);
+        EXPECT_EQ(c.row, 0u);
+    }
+    // The 512th bank-local word crosses into internal bank 1.
+    DeviceCoords c = geo.decompose(512ull * 16);
+    EXPECT_EQ(c.col, 0u);
+    EXPECT_EQ(c.internalBank, 1u);
+    EXPECT_EQ(c.row, 0u);
+}
+
+TEST(GeometryDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(Geometry(12, 1), ::testing::ExitedWithCode(1), "power");
+    EXPECT_EXIT(Geometry(16, 3), ::testing::ExitedWithCode(1), "power");
+}
+
+} // anonymous namespace
+} // namespace pva

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reduced-scale reproduction of the full chapter 6 grid as a test:
+ * every kernel x stride x alignment on the PVA runs functionally clean,
+ * and the paper's headline orderings hold (PVA >= cache-line baseline
+ * at stride 1, PVA way ahead at prime strides, SDRAM close to SRAM).
+ * The benches rerun the same grid at full scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/sweep.hh"
+
+namespace pva
+{
+namespace
+{
+
+constexpr std::uint32_t kElems = 256; // 8 chunks: fast but pipelined
+
+struct GridParam
+{
+    KernelId kernel;
+    std::uint32_t stride;
+};
+
+class PaperGrid : public ::testing::TestWithParam<GridParam>
+{
+};
+
+TEST_P(PaperGrid, PvaIsCorrectAtEveryAlignment)
+{
+    const auto [kernel, stride] = GetParam();
+    for (unsigned a = 0; a < alignmentPresets().size(); ++a) {
+        SweepPoint p =
+            runPoint(SystemKind::PvaSdram, kernel, stride, a, kElems);
+        EXPECT_EQ(p.mismatches, 0u)
+            << kernelSpec(kernel).name << " stride " << stride
+            << " alignment " << a;
+    }
+}
+
+TEST_P(PaperGrid, SdramTracksSramWithinTwentyPercent)
+{
+    const auto [kernel, stride] = GetParam();
+    SweepPoint sdram =
+        runPoint(SystemKind::PvaSdram, kernel, stride, 1, kElems);
+    SweepPoint sram =
+        runPoint(SystemKind::PvaSram, kernel, stride, 1, kElems);
+    EXPECT_LE(sdram.cycles, sram.cycles + sram.cycles / 5)
+        << kernelSpec(kernel).name << " stride " << stride;
+}
+
+std::vector<GridParam>
+gridParams()
+{
+    std::vector<GridParam> p;
+    for (KernelId k : allKernels())
+        for (std::uint32_t s : paperStrides())
+            p.push_back({k, s});
+    return p;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernelsAllStrides, PaperGrid,
+                         ::testing::ValuesIn(gridParams()));
+
+TEST(PaperShape, CacheLineBaselineDegradesWithStride)
+{
+    // Figure 7 shape: normalized cache-line time grows monotonically
+    // in stride (power-of-two strides) and explodes at primes.
+    Cycle prev_ratio_x100 = 0;
+    for (std::uint32_t s : {1u, 2u, 4u, 8u, 16u}) {
+        Cycle pva =
+            runPoint(SystemKind::PvaSdram, KernelId::Scale, s, 0, kElems)
+                .cycles;
+        Cycle cl =
+            runPoint(SystemKind::CacheLine, KernelId::Scale, s, 0, kElems)
+                .cycles;
+        Cycle ratio_x100 = cl * 100 / pva;
+        EXPECT_GT(ratio_x100, prev_ratio_x100) << "stride " << s;
+        prev_ratio_x100 = ratio_x100;
+    }
+}
+
+TEST(PaperShape, PrimeStrideRestoresFullParallelism)
+{
+    // Section 6.3.1: stride 19 performs like stride 1 on the PVA while
+    // traditional systems behave like stride 16.
+    Cycle s1 =
+        runPoint(SystemKind::PvaSdram, KernelId::Scale, 1, 0, kElems)
+            .cycles;
+    Cycle s16 =
+        runPoint(SystemKind::PvaSdram, KernelId::Scale, 16, 0, kElems)
+            .cycles;
+    Cycle s19 =
+        runPoint(SystemKind::PvaSdram, KernelId::Scale, 19, 0, kElems)
+            .cycles;
+    EXPECT_LT(s19, s1 + s1 / 10) << "stride 19 ~ stride 1";
+    EXPECT_GT(s16, s19) << "stride 16 is the PVA's worst case";
+}
+
+TEST(PaperShape, GatheringBaselineIsStrideInsensitiveAndSlower)
+{
+    for (std::uint32_t s : {1u, 8u, 19u}) {
+        Cycle pva =
+            runPoint(SystemKind::PvaSdram, KernelId::Copy, s, 0, kElems)
+                .cycles;
+        Cycle ga =
+            runPoint(SystemKind::Gathering, KernelId::Copy, s, 0, kElems)
+                .cycles;
+        EXPECT_GT(ga, 2 * pva) << "stride " << s;
+        EXPECT_LT(ga, 4 * pva) << "stride " << s;
+    }
+}
+
+TEST(PaperShape, UnrollingHelpsSlightlyOnThePva)
+{
+    // Section 6.3: copy2/scale2 give the PVA a slight edge only.
+    Cycle copy =
+        runPoint(SystemKind::PvaSdram, KernelId::Copy, 4, 0, kElems)
+            .cycles;
+    Cycle copy2 =
+        runPoint(SystemKind::PvaSdram, KernelId::Copy2, 4, 0, kElems)
+            .cycles;
+    EXPECT_LE(copy2, copy + copy / 20);
+}
+
+} // anonymous namespace
+} // namespace pva

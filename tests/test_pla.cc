@@ -1,0 +1,119 @@
+/**
+ * @file
+ * FirstHit PLA tests: both organizations agree with each other and with
+ * the analytic algorithm, delta lookups match theorem 4.4, and the
+ * product-term counts scale as section 4.3.1 claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pla.hh"
+
+namespace pva
+{
+namespace
+{
+
+class PlaVariants : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    unsigned m() const { return GetParam(); }
+};
+
+TEST_P(PlaVariants, BothOrganizationsMatchTheAnalyticFirstHit)
+{
+    const unsigned m = this->m();
+    const std::uint32_t M = 1u << m;
+    FirstHitPla full(m, FirstHitPla::Variant::FullKi);
+    FirstHitPla k1(m, FirstHitPla::Variant::K1Multiply);
+
+    for (std::uint32_t stride = 1; stride <= 2 * M; ++stride) {
+        for (std::uint32_t base = 0; base < M; ++base) {
+            VectorCommand v;
+            v.base = base;
+            v.stride = stride;
+            v.length = 32;
+            for (unsigned bank = 0; bank < M; ++bank) {
+                std::uint32_t d = (bank + M - base) & (M - 1);
+                FirstHit expect = firstHitWord(v, bank, m);
+                EXPECT_EQ(full.lookup(stride & (M - 1), d, 32), expect)
+                    << "FullKi m=" << m << " S=" << stride << " B="
+                    << base << " bank=" << bank;
+                EXPECT_EQ(k1.lookup(stride & (M - 1), d, 32), expect)
+                    << "K1 m=" << m << " S=" << stride << " B=" << base
+                    << " bank=" << bank;
+            }
+        }
+    }
+}
+
+TEST_P(PlaVariants, DeltaMatchesTheorem44)
+{
+    const unsigned m = this->m();
+    const std::uint32_t M = 1u << m;
+    FirstHitPla pla(m, FirstHitPla::Variant::K1Multiply);
+    for (std::uint32_t sm = 0; sm < M; ++sm)
+        EXPECT_EQ(pla.delta(sm), nextHitWord(sm, m)) << "sm=" << sm;
+}
+
+INSTANTIATE_TEST_SUITE_P(BankCounts, PlaVariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Pla, LengthGatesTheHit)
+{
+    FirstHitPla pla(4, FirstHitPla::Variant::FullKi);
+    // Stride 3 (odd): bank at distance d first hit at Ki = K1*d mod 16.
+    // Find a d whose Ki is large and check the length cutoff.
+    std::uint32_t k1 = computeK1(3, 4);
+    for (std::uint32_t d = 1; d < 16; ++d) {
+        std::uint32_t ki = (k1 * d) % 16;
+        FirstHit fh = pla.lookup(3, d, ki); // length == ki: just too short
+        EXPECT_FALSE(fh.hit) << "d=" << d;
+        fh = pla.lookup(3, d, ki + 1);
+        EXPECT_TRUE(fh.hit);
+        EXPECT_EQ(fh.index, ki);
+    }
+}
+
+TEST(Pla, ZeroLengthNeverHits)
+{
+    FirstHitPla pla(4, FirstHitPla::Variant::FullKi);
+    EXPECT_FALSE(pla.lookup(1, 0, 0).hit);
+}
+
+TEST(Pla, TableSizes)
+{
+    FirstHitPla full(4, FirstHitPla::Variant::FullKi);
+    FirstHitPla k1(4, FirstHitPla::Variant::K1Multiply);
+    EXPECT_EQ(full.tableEntries(), 256u); // M^2
+    EXPECT_EQ(k1.tableEntries(), 16u);    // M
+}
+
+TEST(Pla, ProductTermScaling)
+{
+    // Section 4.3.1: FullKi quadratic, K1Multiply linear.
+    std::size_t prev_full = 0, prev_k1 = 0;
+    for (unsigned m = 3; m <= 7; ++m) {
+        FirstHitPla full(m, FirstHitPla::Variant::FullKi);
+        FirstHitPla k1(m, FirstHitPla::Variant::K1Multiply);
+        if (prev_full) {
+            double growth = static_cast<double>(full.productTerms()) /
+                            prev_full;
+            EXPECT_NEAR(growth, 4.0, 0.15) << "m=" << m;
+            EXPECT_EQ(k1.productTerms(), 2 * prev_k1);
+        }
+        prev_full = full.productTerms();
+        prev_k1 = k1.productTerms();
+    }
+}
+
+TEST(PlaDeath, OutOfRangeLookupPanics)
+{
+    FirstHitPla pla(4, FirstHitPla::Variant::FullKi);
+    EXPECT_DEATH(pla.lookup(16, 0, 32), "out of range");
+    EXPECT_DEATH(pla.lookup(0, 16, 32), "out of range");
+    EXPECT_DEATH(pla.delta(99), "out of range");
+}
+
+} // anonymous namespace
+} // namespace pva

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * SplitVector / MMC TLB tests (section 4.3.2): sub-commands never cross
+ * superpages, cover the original vector exactly and in order, and the
+ * division-free lower bound always makes progress.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/split_vector.hh"
+
+namespace pva
+{
+namespace
+{
+
+MmcTlb
+contiguousTlb(WordAddr vbase, unsigned pages, std::uint32_t page_size,
+              WordAddr pbase)
+{
+    MmcTlb tlb;
+    for (unsigned i = 0; i < pages; ++i)
+        tlb.mapSuperpage(vbase + i * page_size, pbase + i * page_size,
+                         page_size);
+    return tlb;
+}
+
+TEST(MmcTlb, ContiguousWindowTranslatesAcrossPages)
+{
+    MmcTlb tlb = contiguousTlb(0x4000, 4, 0x1000, 0x20000);
+    EXPECT_EQ(tlb.lookup(0x4000).phys, 0x20000u);
+    EXPECT_EQ(tlb.lookup(0x6fff).phys, 0x22fffu);
+    EXPECT_EQ(tlb.lookup(0x7abc).phys, 0x23abcu);
+}
+
+TEST(MmcTlb, TranslatesWithinPage)
+{
+    MmcTlb tlb;
+    tlb.mapSuperpage(0x1000, 0x9000, 0x1000);
+    auto t = tlb.lookup(0x1234);
+    EXPECT_EQ(t.phys, 0x9234u);
+    EXPECT_EQ(t.pageSize, 0x1000u);
+}
+
+TEST(MmcTlbDeath, MissAndMisalignmentAreFatal)
+{
+    MmcTlb tlb;
+    tlb.mapSuperpage(0x1000, 0x9000, 0x1000);
+    EXPECT_EXIT(tlb.lookup(0x5000), ::testing::ExitedWithCode(1),
+                "TLB miss");
+    MmcTlb bad;
+    EXPECT_EXIT(bad.mapSuperpage(0x10, 0x9000, 0x1000),
+                ::testing::ExitedWithCode(1), "aligned");
+    EXPECT_EXIT(bad.mapSuperpage(0x1000, 0x9000, 0xfff),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(SplitVector, IdentityMapSinglePageIsOneCommand)
+{
+    MmcTlb tlb;
+    tlb.identityMap(0, 1 << 16, 1 << 16);
+    VectorCommand v;
+    v.base = 100;
+    v.stride = 7;
+    v.length = 32;
+    auto subs = splitVector(v, tlb);
+    ASSERT_EQ(subs.size(), 1u);
+    EXPECT_EQ(subs[0].base, 100u);
+    EXPECT_EQ(subs[0].length, 32u);
+}
+
+/** Property checks shared by the parameterized sweep. */
+void
+checkSplit(const VectorCommand &v, const MmcTlb &tlb)
+{
+    auto subs = splitVector(v, tlb);
+
+    // (1) Concatenated sub-command elements == translated originals.
+    std::vector<WordAddr> expect, got;
+    for (std::uint32_t i = 0; i < v.length; ++i)
+        expect.push_back(tlb.lookup(v.element(i)).phys);
+    for (const VectorCommand &s : subs) {
+        EXPECT_EQ(s.stride, v.stride);
+        EXPECT_EQ(s.isRead, v.isRead);
+        for (std::uint32_t i = 0; i < s.length; ++i)
+            got.push_back(s.element(i));
+    }
+    EXPECT_EQ(got, expect);
+
+    // (2) No sub-command crosses a superpage boundary.
+    for (const VectorCommand &s : subs) {
+        auto t0 = tlb.lookup(s.base); // phys==virt under identity maps
+        WordAddr page_start = s.base & ~(WordAddr{t0.pageSize} - 1);
+        WordAddr last = s.element(s.length - 1);
+        EXPECT_GE(last, page_start);
+        EXPECT_LT(last, page_start + t0.pageSize)
+            << "stride=" << v.stride << " base=" << v.base;
+    }
+}
+
+struct SplitParam
+{
+    std::uint32_t stride;
+    std::uint32_t page_size;
+};
+
+class SplitVectorSweep : public ::testing::TestWithParam<SplitParam>
+{
+};
+
+TEST_P(SplitVectorSweep, CoversExactlyAndNeverCrossesPages)
+{
+    const auto [stride, page_size] = GetParam();
+    MmcTlb tlb;
+    tlb.identityMap(0, 1 << 21, page_size);
+    for (WordAddr base : {WordAddr{0}, WordAddr{1}, WordAddr{100},
+                          WordAddr{page_size - 1},
+                          WordAddr{3 * page_size - 5}}) {
+        VectorCommand v;
+        v.base = base;
+        v.stride = stride;
+        v.length = 1024;
+        checkSplit(v, tlb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StridesAndPages, SplitVectorSweep,
+    ::testing::Values(SplitParam{1, 1024}, SplitParam{2, 1024},
+                      SplitParam{3, 1024}, SplitParam{7, 4096},
+                      SplitParam{16, 4096}, SplitParam{19, 1024},
+                      SplitParam{19, 8192}, SplitParam{33, 2048},
+                      SplitParam{128, 1024}, SplitParam{1023, 1024}));
+
+TEST(SplitVector, NonContiguousPhysicalPages)
+{
+    // Virtual pages mapped to scattered physical pages: the split must
+    // chase the mapping page by page.
+    MmcTlb tlb;
+    tlb.mapSuperpage(0, 0x10000, 0x1000);
+    tlb.mapSuperpage(0x1000, 0x50000, 0x1000);
+    tlb.mapSuperpage(0x2000, 0x30000, 0x1000);
+
+    VectorCommand v;
+    v.base = 0xff0;
+    v.stride = 8;
+    v.length = 1024;
+    auto subs = splitVector(v, tlb);
+    ASSERT_GE(subs.size(), 3u);
+    // First sub-command covers the tail of physical page 0x10000.
+    EXPECT_EQ(subs[0].base, 0x10ff0u);
+    std::vector<WordAddr> expect;
+    for (std::uint32_t i = 0; i < v.length; ++i)
+        expect.push_back(tlb.lookup(v.element(i)).phys);
+    std::vector<WordAddr> got;
+    for (const auto &s : subs)
+        for (std::uint32_t i = 0; i < s.length; ++i)
+            got.push_back(s.element(i));
+    EXPECT_EQ(got, expect);
+}
+
+TEST(SplitVector, StrideLargerThanPageMakesProgress)
+{
+    // Each element lands on its own page: the lower bound clamps to 1
+    // per iteration and the loop still terminates.
+    MmcTlb tlb;
+    tlb.identityMap(0, 1 << 16, 1024);
+    VectorCommand v;
+    v.base = 512;
+    v.stride = 2048;
+    v.length = 16;
+    auto subs = splitVector(v, tlb);
+    EXPECT_EQ(subs.size(), 16u);
+    for (const auto &s : subs)
+        EXPECT_EQ(s.length, 1u);
+}
+
+TEST(SplitVectorDeath, ZeroStrideIsFatal)
+{
+    MmcTlb tlb;
+    tlb.identityMap(0, 4096, 4096);
+    VectorCommand v;
+    v.base = 0;
+    v.stride = 0;
+    v.length = 4;
+    EXPECT_EXIT(splitVector(v, tlb), ::testing::ExitedWithCode(1),
+                "stride");
+}
+
+} // anonymous namespace
+} // namespace pva

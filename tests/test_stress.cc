@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Randomized stress tests: heavy mixed traffic through the full PVA
+ * unit and through individual bank controllers, across modes, strides,
+ * lengths, and configurations. The SDRAM device model panics on any
+ * timing violation, so these runs double as scheduler-legality checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/bit_reversal.hh"
+#include "core/pva_unit.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace pva
+{
+namespace
+{
+
+/** Pump @p rounds random commands through @p sys with full pipelining,
+ *  mirroring writes in software and checking every gather. */
+void
+pump(PvaUnit &sys, Random &rng, unsigned rounds)
+{
+    Simulation sim;
+    sim.add(&sys);
+    std::map<WordAddr, Word> mirror;
+
+    struct Pending
+    {
+        VectorCommand cmd;
+    };
+    std::map<std::uint64_t, Pending> inflight;
+    std::uint64_t next_tag = 0;
+    unsigned completed = 0;
+
+    sim.runUntil(
+        [&] {
+            for (Completion &c : sys.drainCompletions()) {
+                const Pending &p = inflight.at(c.tag);
+                if (p.cmd.isRead) {
+                    for (std::uint32_t i = 0; i < p.cmd.length; ++i) {
+                        WordAddr a = p.cmd.element(i);
+                        Word expect =
+                            mirror.count(a)
+                                ? mirror[a]
+                                : SparseMemory::backgroundPattern(a);
+                        EXPECT_EQ(c.data[i], expect)
+                            << "tag " << c.tag << " elem " << i;
+                    }
+                }
+                inflight.erase(c.tag);
+                ++completed;
+            }
+            while (next_tag < rounds && inflight.size() < 8) {
+                VectorCommand cmd;
+                std::uint64_t kind = rng.below(10);
+                cmd.base = rng.below(1 << 22);
+                cmd.length =
+                    1 + static_cast<std::uint32_t>(rng.below(32));
+                cmd.isRead = rng.below(3) != 0; // 2/3 reads
+                if (kind < 6) {
+                    cmd.stride =
+                        1 + static_cast<std::uint32_t>(rng.below(64));
+                } else if (kind < 8) {
+                    cmd.mode = VectorCommand::Mode::Indirect;
+                    cmd.indices.resize(cmd.length);
+                    for (auto &ix : cmd.indices)
+                        ix = rng.below(1 << 16);
+                } else {
+                    cmd.mode = VectorCommand::Mode::BitReversal;
+                    cmd.revBits = 10;
+                    cmd.revOffset = rng.below(1024 - cmd.length);
+                }
+
+                // A command whose elements collide with addresses of a
+                // still-inflight command could race (the paper's WAW
+                // caveat); keep the fuzz deterministic by avoiding
+                // in-flight overlap via disjoint 4 MiB panes per tag
+                // parity... simpler: writes use a software mirror
+                // updated at submit, and we only check reads whose
+                // addresses are not written by any inflight write.
+                bool conflicts = false;
+                for (auto &[tag, p] : inflight) {
+                    if (p.cmd.isRead)
+                        continue;
+                    for (std::uint32_t i = 0;
+                         !conflicts && i < cmd.length; ++i) {
+                        for (std::uint32_t j = 0; j < p.cmd.length;
+                             ++j) {
+                            if (cmd.element(i) == p.cmd.element(j)) {
+                                conflicts = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (conflicts)
+                        break;
+                }
+                if (conflicts)
+                    break; // retry next cycle
+
+                std::vector<Word> data;
+                const std::vector<Word> *wd = nullptr;
+                if (!cmd.isRead) {
+                    data.resize(cmd.length);
+                    for (std::uint32_t i = 0; i < cmd.length; ++i) {
+                        data[i] = static_cast<Word>(rng.next());
+                        mirror[cmd.element(i)] = data[i];
+                    }
+                    wd = &data;
+                }
+                if (!sys.trySubmit(cmd, next_tag, wd))
+                    break;
+                inflight.emplace(next_tag, Pending{cmd});
+                ++next_tag;
+            }
+            return completed >= rounds;
+        },
+        20000000);
+}
+
+TEST(Stress, MixedModesFullPipeline)
+{
+    PvaUnit sys("pva", PvaConfig{});
+    Random rng(0xabc);
+    pump(sys, rng, 300);
+}
+
+TEST(Stress, SmallBankCount)
+{
+    PvaConfig cfg;
+    cfg.geometry = Geometry(4, 1);
+    PvaUnit sys("pva", cfg);
+    Random rng(0x123);
+    pump(sys, rng, 150);
+}
+
+TEST(Stress, BlockInterleaved)
+{
+    PvaConfig cfg;
+    cfg.geometry = Geometry(8, 4);
+    PvaUnit sys("pva", cfg);
+    Random rng(0x456);
+    pump(sys, rng, 150);
+}
+
+TEST(Stress, WithRefreshAndSmallVcWindow)
+{
+    PvaConfig cfg;
+    cfg.bc.vectorContexts = 1;
+    cfg.timing.tREFI = 97; // frequent, prime: hits odd phases
+    PvaUnit sys("pva", cfg);
+    Random rng(0x789);
+    pump(sys, rng, 150);
+}
+
+TEST(Stress, ClosedPagePolicy)
+{
+    PvaConfig cfg;
+    cfg.bc.rowPolicy = RowPolicy::AlwaysClose;
+    PvaUnit sys("pva", cfg);
+    Random rng(0xdef);
+    pump(sys, rng, 150);
+}
+
+TEST(Stress, SramVariant)
+{
+    PvaConfig cfg;
+    cfg.useSram = true;
+    PvaUnit sys("pva", cfg);
+    Random rng(0x321);
+    pump(sys, rng, 200);
+}
+
+} // anonymous namespace
+} // namespace pva

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * pva_replay — replay a vector-command trace file against a memory
+ * system (see src/kernels/trace_file.hh for the format).
+ *
+ * Usage: pva_replay [--system pva|cacheline|gathering|sram] [--stats]
+ *                   [trace-file | - for stdin]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "kernels/sweep.hh"
+#include "kernels/trace_file.hh"
+#include "sim/logging.hh"
+
+using namespace pva;
+
+int
+main(int argc, char **argv)
+{
+    std::string system_name = "pva";
+    std::string path = "-";
+    bool dump_stats = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--system" && i + 1 < argc) {
+            system_name = argv[++i];
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            path = arg;
+        }
+    }
+
+    TraceFile trace;
+    std::string error;
+    bool ok;
+    if (path == "-") {
+        ok = parseTrace(std::cin, trace, error);
+    } else {
+        std::ifstream in(path);
+        if (!in)
+            fatal("cannot open '%s'", path.c_str());
+        ok = parseTrace(in, trace, error);
+    }
+    if (!ok)
+        fatal("%s: %s", path.c_str(), error.c_str());
+
+    SystemKind kind;
+    if (system_name == "pva")
+        kind = SystemKind::PvaSdram;
+    else if (system_name == "sram")
+        kind = SystemKind::PvaSram;
+    else if (system_name == "cacheline")
+        kind = SystemKind::CacheLine;
+    else if (system_name == "gathering")
+        kind = SystemKind::Gathering;
+    else
+        fatal("unknown system '%s'", system_name.c_str());
+
+    auto sys = makeSystem(kind, system_name);
+    ReplayResult r = replayTrace(*sys, trace);
+    std::printf("%llu commands in %llu cycles, read checksum "
+                "%016llx\n",
+                static_cast<unsigned long long>(r.commands),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.readChecksum));
+    if (dump_stats)
+        sys->stats().dump(std::cout);
+    return 0;
+}
