@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bank_scaling.dir/bench_bank_scaling.cc.o"
+  "CMakeFiles/bench_bank_scaling.dir/bench_bank_scaling.cc.o.d"
+  "bench_bank_scaling"
+  "bench_bank_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bank_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

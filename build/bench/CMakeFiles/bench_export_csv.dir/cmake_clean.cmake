@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_export_csv.dir/bench_export_csv.cc.o"
+  "CMakeFiles/bench_export_csv.dir/bench_export_csv.cc.o.d"
+  "bench_export_csv"
+  "bench_export_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

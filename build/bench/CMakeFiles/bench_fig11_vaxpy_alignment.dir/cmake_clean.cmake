@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vaxpy_alignment.dir/bench_fig11_vaxpy_alignment.cc.o"
+  "CMakeFiles/bench_fig11_vaxpy_alignment.dir/bench_fig11_vaxpy_alignment.cc.o.d"
+  "bench_fig11_vaxpy_alignment"
+  "bench_fig11_vaxpy_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vaxpy_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_firsthit.dir/bench_micro_firsthit.cc.o"
+  "CMakeFiles/bench_micro_firsthit.dir/bench_micro_firsthit.cc.o.d"
+  "bench_micro_firsthit"
+  "bench_micro_firsthit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_firsthit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

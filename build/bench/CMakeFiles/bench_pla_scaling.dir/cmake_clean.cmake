@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pla_scaling.dir/bench_pla_scaling.cc.o"
+  "CMakeFiles/bench_pla_scaling.dir/bench_pla_scaling.cc.o.d"
+  "bench_pla_scaling"
+  "bench_pla_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pla_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

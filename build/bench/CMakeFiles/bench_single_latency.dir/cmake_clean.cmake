@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_latency.dir/bench_single_latency.cc.o"
+  "CMakeFiles/bench_single_latency.dir/bench_single_latency.cc.o.d"
+  "bench_single_latency"
+  "bench_single_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

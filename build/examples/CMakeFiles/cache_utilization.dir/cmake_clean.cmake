@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_utilization.dir/cache_utilization.cpp.o"
+  "CMakeFiles/cache_utilization.dir/cache_utilization.cpp.o.d"
+  "cache_utilization"
+  "cache_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

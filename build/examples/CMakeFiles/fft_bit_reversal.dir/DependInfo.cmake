@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fft_bit_reversal.cpp" "examples/CMakeFiles/fft_bit_reversal.dir/fft_bit_reversal.cpp.o" "gcc" "examples/CMakeFiles/fft_bit_reversal.dir/fft_bit_reversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pva_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_sdram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_bit_reversal.dir/fft_bit_reversal.cpp.o"
+  "CMakeFiles/fft_bit_reversal.dir/fft_bit_reversal.cpp.o.d"
+  "fft_bit_reversal"
+  "fft_bit_reversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_bit_reversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impulse_shadow.dir/impulse_shadow.cpp.o"
+  "CMakeFiles/impulse_shadow.dir/impulse_shadow.cpp.o.d"
+  "impulse_shadow"
+  "impulse_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impulse_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_columns.dir/matrix_columns.cpp.o"
+  "CMakeFiles/matrix_columns.dir/matrix_columns.cpp.o.d"
+  "matrix_columns"
+  "matrix_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

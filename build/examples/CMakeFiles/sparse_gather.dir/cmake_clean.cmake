@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_gather.dir/sparse_gather.cpp.o"
+  "CMakeFiles/sparse_gather.dir/sparse_gather.cpp.o.d"
+  "sparse_gather"
+  "sparse_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

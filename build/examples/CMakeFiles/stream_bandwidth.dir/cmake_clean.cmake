@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_bandwidth.dir/stream_bandwidth.cpp.o"
+  "CMakeFiles/stream_bandwidth.dir/stream_bandwidth.cpp.o.d"
+  "stream_bandwidth"
+  "stream_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

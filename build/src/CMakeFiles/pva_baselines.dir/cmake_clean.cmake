@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pva_baselines.dir/baselines/cacheline_system.cc.o"
+  "CMakeFiles/pva_baselines.dir/baselines/cacheline_system.cc.o.d"
+  "CMakeFiles/pva_baselines.dir/baselines/gathering_system.cc.o"
+  "CMakeFiles/pva_baselines.dir/baselines/gathering_system.cc.o.d"
+  "CMakeFiles/pva_baselines.dir/baselines/pva_sram_system.cc.o"
+  "CMakeFiles/pva_baselines.dir/baselines/pva_sram_system.cc.o.d"
+  "libpva_baselines.a"
+  "libpva_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pva_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

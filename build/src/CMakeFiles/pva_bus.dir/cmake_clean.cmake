@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pva_bus.dir/bus/vector_bus.cc.o"
+  "CMakeFiles/pva_bus.dir/bus/vector_bus.cc.o.d"
+  "libpva_bus.a"
+  "libpva_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pva_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

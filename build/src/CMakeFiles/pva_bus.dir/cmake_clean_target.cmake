@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpva_bus.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pva_cache.dir/cache/l2_cache.cc.o"
+  "CMakeFiles/pva_cache.dir/cache/l2_cache.cc.o.d"
+  "libpva_cache.a"
+  "libpva_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pva_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

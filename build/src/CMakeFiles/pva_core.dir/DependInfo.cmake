@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bank_controller.cc" "src/CMakeFiles/pva_core.dir/core/bank_controller.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/bank_controller.cc.o.d"
+  "/root/repo/src/core/bit_reversal.cc" "src/CMakeFiles/pva_core.dir/core/bit_reversal.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/bit_reversal.cc.o.d"
+  "/root/repo/src/core/complexity.cc" "src/CMakeFiles/pva_core.dir/core/complexity.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/complexity.cc.o.d"
+  "/root/repo/src/core/firsthit.cc" "src/CMakeFiles/pva_core.dir/core/firsthit.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/firsthit.cc.o.d"
+  "/root/repo/src/core/indirect.cc" "src/CMakeFiles/pva_core.dir/core/indirect.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/indirect.cc.o.d"
+  "/root/repo/src/core/pla.cc" "src/CMakeFiles/pva_core.dir/core/pla.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/pla.cc.o.d"
+  "/root/repo/src/core/pva_unit.cc" "src/CMakeFiles/pva_core.dir/core/pva_unit.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/pva_unit.cc.o.d"
+  "/root/repo/src/core/shadow.cc" "src/CMakeFiles/pva_core.dir/core/shadow.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/shadow.cc.o.d"
+  "/root/repo/src/core/split_vector.cc" "src/CMakeFiles/pva_core.dir/core/split_vector.cc.o" "gcc" "src/CMakeFiles/pva_core.dir/core/split_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_sdram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pva_core.dir/core/bank_controller.cc.o"
+  "CMakeFiles/pva_core.dir/core/bank_controller.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/bit_reversal.cc.o"
+  "CMakeFiles/pva_core.dir/core/bit_reversal.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/complexity.cc.o"
+  "CMakeFiles/pva_core.dir/core/complexity.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/firsthit.cc.o"
+  "CMakeFiles/pva_core.dir/core/firsthit.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/indirect.cc.o"
+  "CMakeFiles/pva_core.dir/core/indirect.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/pla.cc.o"
+  "CMakeFiles/pva_core.dir/core/pla.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/pva_unit.cc.o"
+  "CMakeFiles/pva_core.dir/core/pva_unit.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/shadow.cc.o"
+  "CMakeFiles/pva_core.dir/core/shadow.cc.o.d"
+  "CMakeFiles/pva_core.dir/core/split_vector.cc.o"
+  "CMakeFiles/pva_core.dir/core/split_vector.cc.o.d"
+  "libpva_core.a"
+  "libpva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/alignment.cc" "src/CMakeFiles/pva_kernels.dir/kernels/alignment.cc.o" "gcc" "src/CMakeFiles/pva_kernels.dir/kernels/alignment.cc.o.d"
+  "/root/repo/src/kernels/command_unit.cc" "src/CMakeFiles/pva_kernels.dir/kernels/command_unit.cc.o" "gcc" "src/CMakeFiles/pva_kernels.dir/kernels/command_unit.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/CMakeFiles/pva_kernels.dir/kernels/kernel.cc.o" "gcc" "src/CMakeFiles/pva_kernels.dir/kernels/kernel.cc.o.d"
+  "/root/repo/src/kernels/runner.cc" "src/CMakeFiles/pva_kernels.dir/kernels/runner.cc.o" "gcc" "src/CMakeFiles/pva_kernels.dir/kernels/runner.cc.o.d"
+  "/root/repo/src/kernels/sweep.cc" "src/CMakeFiles/pva_kernels.dir/kernels/sweep.cc.o" "gcc" "src/CMakeFiles/pva_kernels.dir/kernels/sweep.cc.o.d"
+  "/root/repo/src/kernels/trace_file.cc" "src/CMakeFiles/pva_kernels.dir/kernels/trace_file.cc.o" "gcc" "src/CMakeFiles/pva_kernels.dir/kernels/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_sdram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

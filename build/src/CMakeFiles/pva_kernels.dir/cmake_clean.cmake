@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pva_kernels.dir/kernels/alignment.cc.o"
+  "CMakeFiles/pva_kernels.dir/kernels/alignment.cc.o.d"
+  "CMakeFiles/pva_kernels.dir/kernels/command_unit.cc.o"
+  "CMakeFiles/pva_kernels.dir/kernels/command_unit.cc.o.d"
+  "CMakeFiles/pva_kernels.dir/kernels/kernel.cc.o"
+  "CMakeFiles/pva_kernels.dir/kernels/kernel.cc.o.d"
+  "CMakeFiles/pva_kernels.dir/kernels/runner.cc.o"
+  "CMakeFiles/pva_kernels.dir/kernels/runner.cc.o.d"
+  "CMakeFiles/pva_kernels.dir/kernels/sweep.cc.o"
+  "CMakeFiles/pva_kernels.dir/kernels/sweep.cc.o.d"
+  "CMakeFiles/pva_kernels.dir/kernels/trace_file.cc.o"
+  "CMakeFiles/pva_kernels.dir/kernels/trace_file.cc.o.d"
+  "libpva_kernels.a"
+  "libpva_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pva_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

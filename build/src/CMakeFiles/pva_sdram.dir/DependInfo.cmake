@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdram/device.cc" "src/CMakeFiles/pva_sdram.dir/sdram/device.cc.o" "gcc" "src/CMakeFiles/pva_sdram.dir/sdram/device.cc.o.d"
+  "/root/repo/src/sdram/geometry.cc" "src/CMakeFiles/pva_sdram.dir/sdram/geometry.cc.o" "gcc" "src/CMakeFiles/pva_sdram.dir/sdram/geometry.cc.o.d"
+  "/root/repo/src/sdram/sram_device.cc" "src/CMakeFiles/pva_sdram.dir/sdram/sram_device.cc.o" "gcc" "src/CMakeFiles/pva_sdram.dir/sdram/sram_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pva_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

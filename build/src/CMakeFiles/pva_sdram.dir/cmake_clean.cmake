@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pva_sdram.dir/sdram/device.cc.o"
+  "CMakeFiles/pva_sdram.dir/sdram/device.cc.o.d"
+  "CMakeFiles/pva_sdram.dir/sdram/geometry.cc.o"
+  "CMakeFiles/pva_sdram.dir/sdram/geometry.cc.o.d"
+  "CMakeFiles/pva_sdram.dir/sdram/sram_device.cc.o"
+  "CMakeFiles/pva_sdram.dir/sdram/sram_device.cc.o.d"
+  "libpva_sdram.a"
+  "libpva_sdram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pva_sdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

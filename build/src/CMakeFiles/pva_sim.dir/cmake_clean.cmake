@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pva_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/pva_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/pva_sim.dir/sim/memory.cc.o"
+  "CMakeFiles/pva_sim.dir/sim/memory.cc.o.d"
+  "CMakeFiles/pva_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/pva_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/pva_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/pva_sim.dir/sim/stats.cc.o.d"
+  "libpva_sim.a"
+  "libpva_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pva_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bank_controller.cc" "tests/CMakeFiles/pva_tests.dir/test_bank_controller.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_bank_controller.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/pva_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/pva_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_command_unit.cc" "tests/CMakeFiles/pva_tests.dir/test_command_unit.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_command_unit.cc.o.d"
+  "/root/repo/tests/test_complexity.cc" "tests/CMakeFiles/pva_tests.dir/test_complexity.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_complexity.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/pva_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/pva_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_features.cc" "tests/CMakeFiles/pva_tests.dir/test_features.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_features.cc.o.d"
+  "/root/repo/tests/test_firsthit.cc" "tests/CMakeFiles/pva_tests.dir/test_firsthit.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_firsthit.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/pva_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_integration_grid.cc" "tests/CMakeFiles/pva_tests.dir/test_integration_grid.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_integration_grid.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/pva_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_microarch.cc" "tests/CMakeFiles/pva_tests.dir/test_microarch.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_microarch.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/pva_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_paper_examples.cc" "tests/CMakeFiles/pva_tests.dir/test_paper_examples.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_paper_examples.cc.o.d"
+  "/root/repo/tests/test_pla.cc" "tests/CMakeFiles/pva_tests.dir/test_pla.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_pla.cc.o.d"
+  "/root/repo/tests/test_pva_unit.cc" "tests/CMakeFiles/pva_tests.dir/test_pva_unit.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_pva_unit.cc.o.d"
+  "/root/repo/tests/test_sdram_device.cc" "tests/CMakeFiles/pva_tests.dir/test_sdram_device.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_sdram_device.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/pva_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/pva_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_split_vector.cc" "tests/CMakeFiles/pva_tests.dir/test_split_vector.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_split_vector.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/pva_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/pva_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_vector_bus.cc" "tests/CMakeFiles/pva_tests.dir/test_vector_bus.cc.o" "gcc" "tests/CMakeFiles/pva_tests.dir/test_vector_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pva_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_sdram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pva_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_pva_replay.dir/pva_replay.cc.o"
+  "CMakeFiles/tool_pva_replay.dir/pva_replay.cc.o.d"
+  "pva_replay"
+  "pva_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_pva_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

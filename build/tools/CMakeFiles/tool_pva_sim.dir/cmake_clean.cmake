@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_pva_sim.dir/pva_sim.cc.o"
+  "CMakeFiles/tool_pva_sim.dir/pva_sim.cc.o.d"
+  "pva_sim"
+  "pva_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_pva_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
