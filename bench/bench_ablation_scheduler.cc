@@ -21,11 +21,16 @@ namespace
 using namespace pva;
 
 void
-row(const char *label, const PvaConfig &cfg)
+row(const char *label, const SystemConfig &cfg)
 {
     std::printf("%-34s", label);
     for (std::uint32_t s : {1u, 16u, 19u}) {
-        SweepPoint p = runPvaPoint(cfg, KernelId::Vaxpy, s, 0);
+        SweepRequest req;
+        req.system = SystemKind::PvaSdram;
+        req.kernel = KernelId::Vaxpy;
+        req.stride = s;
+        req.config = cfg;
+        SweepPoint p = runPoint(req);
         if (p.mismatches != 0)
             std::printf(" %11s", "MISMATCH");
         else
@@ -44,11 +49,11 @@ main()
     std::printf("%-34s %11s %11s %11s\n", "configuration", "stride 1",
                 "stride 16", "stride 19");
 
-    PvaConfig base;
+    SystemConfig base;
     row("baseline (4 VCs, managed, bypass)", base);
 
     for (unsigned vcs : {1u, 2u, 8u}) {
-        PvaConfig cfg;
+        SystemConfig cfg;
         cfg.bc.vectorContexts = vcs;
         char label[64];
         std::snprintf(label, sizeof(label), "%u vector context%s", vcs,
@@ -57,7 +62,7 @@ main()
     }
 
     {
-        PvaConfig cfg;
+        SystemConfig cfg;
         cfg.bc.rowPolicy = RowPolicy::AlwaysClose;
         row("always-close rows (closed page)", cfg);
         cfg.bc.rowPolicy = RowPolicy::AlwaysOpen;
@@ -65,19 +70,19 @@ main()
     }
 
     {
-        PvaConfig cfg;
+        SystemConfig cfg;
         cfg.bc.bypassEnabled = false;
         row("bypass paths disabled", cfg);
     }
 
     {
-        PvaConfig cfg;
+        SystemConfig cfg;
         cfg.bc.fhcLatency = 4;
         row("4-cycle FirstHit multiply-add", cfg);
     }
 
     {
-        PvaConfig cfg;
+        SystemConfig cfg;
         cfg.timing.tREFI = 781; // 64 ms / 8192 rows at 100 MHz
         row("with auto-refresh (tREFI=781)", cfg);
     }

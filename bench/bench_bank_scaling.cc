@@ -19,11 +19,15 @@ main()
     std::printf("%-8s %11s %11s %11s %11s\n", "banks", "stride 1",
                 "stride 8", "stride 16", "stride 19");
     for (unsigned banks : {4u, 8u, 16u, 32u, 64u}) {
-        PvaConfig cfg;
+        SystemConfig cfg;
         cfg.geometry = Geometry(banks, 1);
         std::printf("%-8u", banks);
         for (std::uint32_t s : {1u, 8u, 16u, 19u}) {
-            SweepPoint p = runPvaPoint(cfg, KernelId::Copy, s, 0);
+            SweepRequest req;
+            req.kernel = KernelId::Copy;
+            req.stride = s;
+            req.config = cfg;
+            SweepPoint p = runPoint(req);
             std::printf(" %11llu",
                         static_cast<unsigned long long>(p.cycles));
         }

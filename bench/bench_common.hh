@@ -1,23 +1,48 @@
 /**
  * @file
- * Shared table-printing helpers for the figure-reproduction benches.
+ * Shared helpers for the figure-reproduction benches.
  *
  * Each bench prints, for a slice of the chapter 6 grid, the cycle
  * counts of the four memory systems with min/max over the five relative
  * alignments, plus execution time normalized to the PVA SDRAM minimum —
  * the same quantities annotated on the paper's bars.
+ *
+ * All grid points are dispatched through the SweepExecutor: the full
+ * slice runs on a worker pool (--jobs N, default all hardware threads)
+ * and is aggregated in issue order, so the printed tables are identical
+ * to a serial run.
  */
 
 #ifndef PVA_BENCH_COMMON_HH
 #define PVA_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "kernels/sweep.hh"
+#include "kernels/sweep_executor.hh"
+#include "sim/logging.hh"
 
 namespace pva::benchutil
 {
+
+/** Worker count from a --jobs N argument (0 = all hardware threads). */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs")) {
+            char *end = nullptr;
+            unsigned long n = std::strtoul(argv[i + 1], &end, 10);
+            if (end == argv[i + 1] || *end != '\0')
+                fatal("--jobs expects a number, got '%s'", argv[i + 1]);
+            return static_cast<unsigned>(n);
+        }
+    }
+    return 0;
+}
 
 /** Results of one (kernel, stride) cell across systems/alignments. */
 struct Cell
@@ -28,17 +53,67 @@ struct Cell
     MinMaxCycles sram;
 };
 
-inline Cell
-runCell(KernelId kernel, std::uint32_t stride)
+/**
+ * Run the four systems at every alignment for each (kernel, stride)
+ * cell, in parallel, and fold the results into per-cell min/max.
+ * Panics on any functional mismatch, like runAcrossAlignments().
+ */
+inline std::vector<Cell>
+runCells(const std::vector<std::pair<KernelId, std::uint32_t>> &cells,
+         unsigned jobs)
 {
-    Cell c;
-    c.pva = runAcrossAlignments(SystemKind::PvaSdram, kernel, stride);
-    c.cacheline =
-        runAcrossAlignments(SystemKind::CacheLine, kernel, stride);
-    c.gathering =
-        runAcrossAlignments(SystemKind::Gathering, kernel, stride);
-    c.sram = runAcrossAlignments(SystemKind::PvaSram, kernel, stride);
-    return c;
+    std::vector<SweepRequest> grid;
+    const std::size_t aligns = alignmentPresets().size();
+    grid.reserve(cells.size() * allSystems().size() * aligns);
+    for (const auto &[kernel, stride] : cells) {
+        for (SystemKind sys : allSystems()) {
+            for (unsigned a = 0; a < aligns; ++a) {
+                SweepRequest req;
+                req.system = sys;
+                req.kernel = kernel;
+                req.stride = stride;
+                req.alignment = a;
+                grid.push_back(req);
+            }
+        }
+    }
+
+    SweepExecutor executor(jobs);
+    std::vector<SweepPoint> points = executor.run(grid);
+
+    std::vector<Cell> out(cells.size());
+    std::size_t i = 0;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (SystemKind sys : allSystems()) {
+            MinMaxCycles mm{kNeverCycle, 0};
+            for (unsigned a = 0; a < aligns; ++a, ++i) {
+                const SweepPoint &p = points[i];
+                if (p.mismatches != 0)
+                    panic("functional mismatch in %s/%s stride %u "
+                          "alignment %u",
+                          systemName(p.system),
+                          kernelSpec(p.kernel).name.c_str(), p.stride,
+                          p.alignment);
+                mm.min = std::min(mm.min, p.cycles);
+                mm.max = std::max(mm.max, p.cycles);
+            }
+            switch (sys) {
+              case SystemKind::PvaSdram:
+                out[c].pva = mm;
+                break;
+              case SystemKind::CacheLine:
+                out[c].cacheline = mm;
+                break;
+              case SystemKind::Gathering:
+                out[c].gathering = mm;
+                break;
+              case SystemKind::PvaSram:
+                out[c].sram = mm;
+                break;
+            }
+        }
+    }
+    return out;
 }
 
 inline double
@@ -74,34 +149,45 @@ printCellRow(const char *kernel, std::uint32_t stride, const Cell &c)
 
 /** Figure 7/8 layout: one block per kernel, rows are strides. */
 inline void
-printKernelsByStride(const std::vector<KernelId> &kernels)
+printKernelsByStride(const std::vector<KernelId> &kernels, unsigned jobs)
 {
+    std::vector<std::pair<KernelId, std::uint32_t>> cells;
+    for (KernelId k : kernels)
+        for (std::uint32_t s : paperStrides())
+            cells.emplace_back(k, s);
+    std::vector<Cell> results = runCells(cells, jobs);
+
+    std::size_t i = 0;
     for (KernelId k : kernels) {
         const char *name = kernelSpec(k).name.c_str();
         std::printf("\n== %s: cycles vs stride (1024-element vectors, "
                     "min/max over %zu alignments) ==\n",
                     name, alignmentPresets().size());
         printCellHeader();
-        for (std::uint32_t s : paperStrides()) {
-            Cell c = runCell(k, s);
-            printCellRow(name, s, c);
-        }
+        for (std::uint32_t s : paperStrides())
+            printCellRow(name, s, results[i++]);
     }
 }
 
 /** Figure 9/10 layout: one block per stride, rows are kernels. */
 inline void
-printStridesFixed(const std::vector<std::uint32_t> &strides)
+printStridesFixed(const std::vector<std::uint32_t> &strides,
+                  unsigned jobs)
 {
+    std::vector<std::pair<KernelId, std::uint32_t>> cells;
+    for (std::uint32_t s : strides)
+        for (KernelId k : allKernels())
+            cells.emplace_back(k, s);
+    std::vector<Cell> results = runCells(cells, jobs);
+
+    std::size_t i = 0;
     for (std::uint32_t s : strides) {
         std::printf("\n== stride %u: cycles per kernel (normalized to "
                     "PVA SDRAM min) ==\n",
                     s);
         printCellHeader();
-        for (KernelId k : allKernels()) {
-            Cell c = runCell(k, s);
-            printCellRow(kernelSpec(k).name.c_str(), s, c);
-        }
+        for (KernelId k : allKernels())
+            printCellRow(kernelSpec(k).name.c_str(), s, results[i++]);
     }
 }
 

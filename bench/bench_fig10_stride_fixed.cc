@@ -7,10 +7,11 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 10: comparative performance of all kernels with "
                 "fixed stride (continued)\n");
-    pva::benchutil::printStridesFixed({8, 16, 19});
+    pva::benchutil::printStridesFixed(
+        {8, 16, 19}, pva::benchutil::parseJobs(argc, argv));
     return 0;
 }

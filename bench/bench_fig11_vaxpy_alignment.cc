@@ -13,26 +13,40 @@
 #include <cstdio>
 #include <vector>
 
-#include "kernels/sweep.hh"
+#include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pva;
 
     const auto &strides = paperStrides();
     const auto &aligns = alignmentPresets();
 
+    std::vector<SweepRequest> grid;
+    for (std::uint32_t s : strides) {
+        for (unsigned a = 0; a < aligns.size(); ++a) {
+            for (SystemKind sys :
+                 {SystemKind::PvaSdram, SystemKind::PvaSram}) {
+                SweepRequest req;
+                req.system = sys;
+                req.kernel = KernelId::Vaxpy;
+                req.stride = s;
+                req.alignment = a;
+                grid.push_back(req);
+            }
+        }
+    }
+    SweepExecutor executor(benchutil::parseJobs(argc, argv));
+    std::vector<SweepPoint> points = executor.run(grid);
+
     std::vector<std::vector<Cycle>> sdram(strides.size()),
         sram(strides.size());
+    std::size_t i = 0;
     for (std::size_t si = 0; si < strides.size(); ++si) {
         for (unsigned a = 0; a < aligns.size(); ++a) {
-            sdram[si].push_back(runPoint(SystemKind::PvaSdram,
-                                         KernelId::Vaxpy, strides[si], a)
-                                    .cycles);
-            sram[si].push_back(runPoint(SystemKind::PvaSram,
-                                        KernelId::Vaxpy, strides[si], a)
-                                   .cycles);
+            sdram[si].push_back(points[i++].cycles);
+            sram[si].push_back(points[i++].cycles);
         }
     }
 

@@ -7,11 +7,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pva;
     std::printf("Figure 7: comparative performance with varying stride\n");
     benchutil::printKernelsByStride(
-        {KernelId::Copy, KernelId::Saxpy, KernelId::Scale});
+        {KernelId::Copy, KernelId::Saxpy, KernelId::Scale},
+        benchutil::parseJobs(argc, argv));
     return 0;
 }

@@ -7,13 +7,14 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pva;
     std::printf("Figure 8: comparative performance with varying stride "
                 "(continued)\n");
     benchutil::printKernelsByStride({KernelId::Swap, KernelId::Tridiag,
                                      KernelId::Vaxpy, KernelId::Copy2,
-                                     KernelId::Scale2});
+                                     KernelId::Scale2},
+                                    benchutil::parseJobs(argc, argv));
     return 0;
 }

@@ -7,10 +7,11 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 9: comparative performance of all kernels with "
                 "fixed stride\n");
-    pva::benchutil::printStridesFixed({1, 4});
+    pva::benchutil::printStridesFixed(
+        {1, 4}, pva::benchutil::parseJobs(argc, argv));
     return 0;
 }

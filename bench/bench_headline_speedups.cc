@@ -10,57 +10,81 @@
  *  - "without hurting normal cache line fill performance" (stride 1
  *    parity), and
  *  - PVA SDRAM within ~15% of PVA SRAM (section 6.3.1).
+ *
+ * The full 960-point grid runs once on the SweepExecutor pool
+ * (--jobs N, default all hardware threads) and the aggregates are
+ * computed from the issue-ordered results.
  */
 
 #include <cstdio>
 
-#include "kernels/sweep.hh"
+#include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pva;
+
+    std::vector<SweepRequest> grid = SweepExecutor::chapter6Grid();
+    SweepExecutor executor(benchutil::parseJobs(argc, argv));
+    std::vector<SweepPoint> points = executor.run(grid);
+
+    // chapter6Grid order: systems, then kernels, strides, alignments.
+    const std::size_t num_k = allKernels().size();
+    const std::size_t num_s = paperStrides().size();
+    const std::size_t num_a = alignmentPresets().size();
+    auto at = [&](std::size_t sys, std::size_t k, std::size_t s,
+                  std::size_t a) -> const SweepPoint & {
+        return points[((sys * num_k + k) * num_s + s) * num_a + a];
+    };
+    auto min_cycles = [&](std::size_t sys, std::size_t k,
+                          std::size_t s) {
+        Cycle best = kNeverCycle;
+        for (std::size_t a = 0; a < num_a; ++a)
+            best = std::min(best, at(sys, k, s, a).cycles);
+        return best;
+    };
+    constexpr std::size_t kPva = 0, kCacheLine = 1, kGathering = 2,
+                          kSram = 3;
 
     double best_vs_cacheline = 0, best_vs_gathering = 0;
     double worst_stride1 = 0, worst_vs_sram = 0;
     std::uint32_t arg_cl = 0, arg_ga = 0;
     const char *k_cl = "", *k_ga = "";
 
-    for (KernelId k : allKernels()) {
-        const char *name = kernelSpec(k).name.c_str();
-        for (std::uint32_t s : paperStrides()) {
-            MinMaxCycles pva =
-                runAcrossAlignments(SystemKind::PvaSdram, k, s);
-            MinMaxCycles cl =
-                runAcrossAlignments(SystemKind::CacheLine, k, s);
-            MinMaxCycles ga =
-                runAcrossAlignments(SystemKind::Gathering, k, s);
+    for (std::size_t ki = 0; ki < num_k; ++ki) {
+        const char *name = kernelSpec(allKernels()[ki]).name.c_str();
+        for (std::size_t si = 0; si < num_s; ++si) {
+            std::uint32_t stride = paperStrides()[si];
+            Cycle pva = min_cycles(kPva, ki, si);
+            Cycle cl = min_cycles(kCacheLine, ki, si);
+            Cycle ga = min_cycles(kGathering, ki, si);
             // SDRAM-vs-SRAM compares corresponding alignments (the
             // paper's figure 11 (b) pairing).
             double vs_sr = 0;
-            for (unsigned a = 0; a < alignmentPresets().size(); ++a) {
-                Cycle sd = runPoint(SystemKind::PvaSdram, k, s, a).cycles;
-                Cycle sr = runPoint(SystemKind::PvaSram, k, s, a).cycles;
+            for (std::size_t a = 0; a < num_a; ++a) {
+                Cycle sd = at(kPva, ki, si, a).cycles;
+                Cycle sr = at(kSram, ki, si, a).cycles;
                 vs_sr = std::max(vs_sr,
                                  static_cast<double>(sd) / sr);
             }
 
-            double vs_cl = static_cast<double>(cl.min) / pva.min;
-            double vs_ga = static_cast<double>(ga.min) / pva.min;
+            double vs_cl = static_cast<double>(cl) / pva;
+            double vs_ga = static_cast<double>(ga) / pva;
             if (vs_cl > best_vs_cacheline) {
                 best_vs_cacheline = vs_cl;
-                arg_cl = s;
+                arg_cl = stride;
                 k_cl = name;
             }
             if (vs_ga > best_vs_gathering) {
                 best_vs_gathering = vs_ga;
-                arg_ga = s;
+                arg_ga = stride;
                 k_ga = name;
             }
-            if (s == 1) {
+            if (stride == 1) {
                 worst_stride1 =
                     std::max(worst_stride1,
-                             static_cast<double>(pva.min) / cl.min);
+                             static_cast<double>(pva) / cl);
             }
             worst_vs_sram = std::max(worst_vs_sram, vs_sr);
         }

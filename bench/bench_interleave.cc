@@ -24,11 +24,15 @@ main()
     std::printf("\n");
 
     for (unsigned n : {1u, 2u, 4u, 8u, 32u}) {
-        PvaConfig cfg;
+        SystemConfig cfg;
         cfg.geometry = Geometry(16, n);
         std::printf("%-16u", n);
         for (std::uint32_t s : paperStrides()) {
-            SweepPoint p = runPvaPoint(cfg, KernelId::Copy, s, 0);
+            SweepRequest req;
+            req.kernel = KernelId::Copy;
+            req.stride = s;
+            req.config = cfg;
+            SweepPoint p = runPoint(req);
             std::printf(" %9llu",
                         static_cast<unsigned long long>(p.cycles));
         }

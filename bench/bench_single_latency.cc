@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/pva_unit.hh"
+#include "kernels/sweep.hh"
 #include "sim/simulation.hh"
 
 namespace
@@ -19,19 +19,18 @@ using namespace pva;
 Cycle
 singleReadLatency(bool sram, std::uint32_t stride)
 {
-    PvaConfig cfg;
-    cfg.useSram = sram;
-    PvaUnit sys("sys", cfg);
+    auto sys = makeSystem(sram ? SystemKind::PvaSram
+                               : SystemKind::PvaSdram);
     Simulation sim;
-    sim.add(&sys);
+    sim.add(sys.get());
 
     VectorCommand c;
     c.base = 12345;
     c.stride = stride;
     c.length = 32;
     c.isRead = true;
-    sys.trySubmit(c, 0, nullptr);
-    sim.runUntil([&] { return !sys.drainCompletions().empty(); });
+    sys->trySubmit(c, 0, nullptr);
+    sim.runUntil([&] { return !sys->drainCompletions().empty(); });
     return sim.now();
 }
 

@@ -33,15 +33,20 @@ main()
     std::printf("%-28s %10s %10s %10s\n", "timing", "stride 1",
                 "stride 16", "stride 19");
     for (const TimingPoint &tp : points) {
-        PvaConfig sdram_cfg;
+        SystemConfig sdram_cfg;
         sdram_cfg.timing = tp.t;
-        PvaConfig sram_cfg;
-        sram_cfg.useSram = true;
 
         std::printf("%-28s", tp.name);
         for (std::uint32_t s : {1u, 16u, 19u}) {
-            SweepPoint d = runPvaPoint(sdram_cfg, KernelId::Vaxpy, s, 0);
-            SweepPoint r = runPvaPoint(sram_cfg, KernelId::Vaxpy, s, 0);
+            SweepRequest sdram_req;
+            sdram_req.kernel = KernelId::Vaxpy;
+            sdram_req.stride = s;
+            sdram_req.config = sdram_cfg;
+            SweepRequest sram_req = sdram_req;
+            sram_req.system = SystemKind::PvaSram;
+            sram_req.config = SystemConfig{};
+            SweepPoint d = runPoint(sdram_req);
+            SweepPoint r = runPoint(sram_req);
             std::printf(" %9.3fx",
                         static_cast<double>(d.cycles) / r.cycles);
         }

@@ -29,20 +29,12 @@
 #include "bus/vector_bus.hh"
 #include "core/bank_controller.hh"
 #include "core/memory_system.hh"
+#include "core/system_config.hh"
 #include "sdram/device.hh"
 #include "sdram/geometry.hh"
 
 namespace pva
 {
-
-/** Top-level configuration of a PVA memory system. */
-struct PvaConfig
-{
-    Geometry geometry{16, 1, 9, 2, 13};
-    SdramTiming timing{};
-    BcConfig bc{};
-    bool useSram = false; ///< Build the PVA-SRAM comparison system
-};
 
 /** The PVA unit as a complete memory system. */
 class PvaUnit : public MemorySystem

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unified construction-time configuration of the evaluated memory
+ * systems.
+ *
+ * SystemConfig is the one knob bag every harness (benches, tests,
+ * tools, the sweep executor) fills in and hands to makeSystem(): the
+ * memory geometry (bank count, interleave factor), the SDRAM timing
+ * parameters including auto-refresh, the bank-controller
+ * microarchitecture (vector contexts, row policy, bypasses), and the
+ * serial baselines' accounting knobs. Each concrete system consumes
+ * the subset that applies to it; the PVA-specific projection is
+ * PvaConfig (toPva()).
+ */
+
+#ifndef PVA_CORE_SYSTEM_CONFIG_HH
+#define PVA_CORE_SYSTEM_CONFIG_HH
+
+#include "core/bank_controller.hh"
+#include "sdram/device.hh"
+#include "sdram/geometry.hh"
+
+namespace pva
+{
+
+/** Top-level configuration of a PVA memory system. */
+struct PvaConfig
+{
+    Geometry geometry{16, 1, 9, 2, 13};
+    SdramTiming timing{};
+    BcConfig bc{};
+    bool useSram = false; ///< Build the PVA-SRAM comparison system
+};
+
+/**
+ * Configuration shared by all four evaluated memory systems.
+ *
+ * The default-constructed value is the paper's prototype point:
+ * 16 word-interleaved banks, 2-2-2 SDRAM timing with refresh
+ * disabled, 4 vector contexts with the ManageRow policy.
+ */
+struct SystemConfig
+{
+    /** Bank count and interleave factor (all systems). */
+    Geometry geometry{16, 1, 9, 2, 13};
+    /** SDRAM timing, including tREFI auto-refresh (SDRAM systems). */
+    SdramTiming timing{};
+    /** Bank-controller microarchitecture (PVA SDRAM / PVA SRAM). */
+    BcConfig bc{};
+    /** Outstanding bus-transaction limit of the serial baselines. */
+    unsigned maxOutstanding = 8;
+    /** Cache-line baseline accounting (see CacheLineConfig). */
+    bool optimisticLineReuse = false;
+
+    /** The PVA-specific projection of this configuration. */
+    PvaConfig
+    toPva(bool use_sram = false) const
+    {
+        PvaConfig p;
+        p.geometry = geometry;
+        p.timing = timing;
+        p.bc = bc;
+        p.useSram = use_sram;
+        return p;
+    }
+};
+
+} // namespace pva
+
+#endif // PVA_CORE_SYSTEM_CONFIG_HH

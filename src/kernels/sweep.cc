@@ -2,13 +2,24 @@
 
 #include "baselines/cacheline_system.hh"
 #include "baselines/gathering_system.hh"
-#include "baselines/pva_sram_system.hh"
 #include "core/pva_unit.hh"
 #include "kernels/runner.hh"
 #include "sim/logging.hh"
 
 namespace pva
 {
+
+const std::vector<SystemKind> &
+allSystems()
+{
+    static const std::vector<SystemKind> systems = {
+        SystemKind::PvaSdram,
+        SystemKind::CacheLine,
+        SystemKind::Gathering,
+        SystemKind::PvaSram,
+    };
+    return systems;
+}
 
 const char *
 systemName(SystemKind kind)
@@ -26,59 +37,80 @@ systemName(SystemKind kind)
     return "?";
 }
 
-std::unique_ptr<MemorySystem>
-makeSystem(SystemKind kind, const std::string &name)
+const char *
+systemShortName(SystemKind kind)
 {
     switch (kind) {
       case SystemKind::PvaSdram:
-        return std::make_unique<PvaUnit>(name, PvaConfig{});
+        return "pva";
       case SystemKind::CacheLine:
-        return std::make_unique<CacheLineSystem>(name);
+        return "cacheline";
       case SystemKind::Gathering:
-        return std::make_unique<GatheringSystem>(name);
+        return "gathering";
       case SystemKind::PvaSram:
-        return std::make_unique<PvaSramSystem>(name);
+        return "sram";
+    }
+    return "?";
+}
+
+std::unique_ptr<MemorySystem>
+makeSystem(SystemKind kind, const SystemConfig &config)
+{
+    const std::string name = systemShortName(kind);
+    switch (kind) {
+      case SystemKind::PvaSdram:
+        return std::make_unique<PvaUnit>(name, config.toPva(false));
+      case SystemKind::PvaSram:
+        return std::make_unique<PvaUnit>(name, config.toPva(true));
+      case SystemKind::CacheLine: {
+        CacheLineConfig cl;
+        cl.lineWords = config.bc.lineWords;
+        cl.maxOutstanding = config.maxOutstanding;
+        cl.optimisticLineReuse = config.optimisticLineReuse;
+        return std::make_unique<CacheLineSystem>(name, cl);
+      }
+      case SystemKind::Gathering: {
+        GatheringConfig ga;
+        ga.timing = config.timing;
+        ga.maxOutstanding = config.maxOutstanding;
+        return std::make_unique<GatheringSystem>(name, ga);
+      }
     }
     panic("unknown system kind");
+}
+
+SweepPoint
+runPoint(const SweepRequest &request)
+{
+    const KernelSpec &spec = kernelSpec(request.kernel);
+    const AlignmentPreset &preset =
+        alignmentPresets().at(request.alignment);
+
+    WorkloadConfig cfg;
+    cfg.stride = request.stride;
+    cfg.elements = request.elements;
+    cfg.lineWords = request.config.bc.lineWords;
+    cfg.streamBases = streamBases(preset, spec.numStreams,
+                                  request.stride, request.elements);
+
+    auto sys = makeSystem(request.system, request.config);
+    RunResult r = runKernelOn(*sys, request.kernel, cfg);
+
+    return {request.system, request.kernel, request.stride,
+            request.alignment, r.cycles, r.mismatches};
 }
 
 SweepPoint
 runPoint(SystemKind system, KernelId kernel, std::uint32_t stride,
          unsigned alignment, std::uint32_t elements)
 {
-    const KernelSpec &spec = kernelSpec(kernel);
-    const AlignmentPreset &preset = alignmentPresets().at(alignment);
-
-    WorkloadConfig cfg;
-    cfg.stride = stride;
-    cfg.elements = elements;
-    cfg.streamBases =
-        streamBases(preset, spec.numStreams, stride, elements);
-
-    auto sys = makeSystem(system, spec.name);
-    RunResult r = runKernelOn(*sys, kernel, cfg);
-
-    return {system, kernel, stride, alignment, r.cycles, r.mismatches};
-}
-
-SweepPoint
-runPvaPoint(const PvaConfig &config, KernelId kernel, std::uint32_t stride,
-            unsigned alignment, std::uint32_t elements)
-{
-    const KernelSpec &spec = kernelSpec(kernel);
-    const AlignmentPreset &preset = alignmentPresets().at(alignment);
-
-    WorkloadConfig cfg;
-    cfg.stride = stride;
-    cfg.elements = elements;
-    cfg.lineWords = config.bc.lineWords;
-    cfg.streamBases =
-        streamBases(preset, spec.numStreams, stride, elements);
-
-    PvaUnit sys(spec.name, config);
-    RunResult r = runKernelOn(sys, kernel, cfg);
-    return {config.useSram ? SystemKind::PvaSram : SystemKind::PvaSdram,
-            kernel, stride, alignment, r.cycles, r.mismatches};
+    SweepRequest req;
+    req.system = system;
+    req.kernel = kernel;
+    req.stride = stride;
+    req.alignment = alignment;
+    req.elements = elements;
+    return runPoint(req);
 }
 
 MinMaxCycles

@@ -3,6 +3,12 @@
  * The chapter 6 experimental grid: kernels x strides x alignments x
  * memory systems. Shared by the figure-reproduction benches and the
  * integration tests.
+ *
+ * All system construction goes through makeSystem(kind, SystemConfig):
+ * the config carries every knob (geometry, timing, bank-controller
+ * microarchitecture, baseline accounting) so no caller threads loose
+ * parameters by hand. SweepRequest bundles one grid point; the
+ * SweepExecutor (sweep_executor.hh) runs many of them concurrently.
  */
 
 #ifndef PVA_KERNELS_SWEEP_HH
@@ -14,6 +20,7 @@
 
 #include "core/memory_system.hh"
 #include "core/pva_unit.hh"
+#include "core/system_config.hh"
 #include "kernels/alignment.hh"
 #include "kernels/kernel.hh"
 
@@ -29,12 +36,31 @@ enum class SystemKind
     PvaSram,
 };
 
+/** The systems in the canonical grid (and CSV) order. */
+const std::vector<SystemKind> &allSystems();
+
 /** Human-readable system name as used in the paper's figures. */
 const char *systemName(SystemKind kind);
 
-/** Instantiate a fresh memory system of the given kind. */
+/** Short lowercase identifier ("pva", "cacheline", "gathering",
+ *  "sram") as accepted by the tools' --system flag. */
+const char *systemShortName(SystemKind kind);
+
+/** Instantiate a fresh memory system of the given kind under the
+ *  given configuration. */
 std::unique_ptr<MemorySystem> makeSystem(SystemKind kind,
-                                         const std::string &name);
+                                         const SystemConfig &config = {});
+
+/** One grid point to run: where, what, and under which config. */
+struct SweepRequest
+{
+    SystemKind system = SystemKind::PvaSdram;
+    KernelId kernel = KernelId::Copy;
+    std::uint32_t stride = 1;
+    unsigned alignment = 0; ///< Index into alignmentPresets()
+    std::uint32_t elements = 1024;
+    SystemConfig config{};
+};
 
 /** Cycle count of one (system, kernel, stride, alignment) point. */
 struct SweepPoint
@@ -47,19 +73,14 @@ struct SweepPoint
     std::size_t mismatches;
 };
 
-/** Run one grid point (1024-element vectors unless overridden). */
+/** Run one grid point. */
+SweepPoint runPoint(const SweepRequest &request);
+
+/** Run one grid point of the default (paper-prototype) configuration
+ *  (1024-element vectors unless overridden). */
 SweepPoint runPoint(SystemKind system, KernelId kernel,
                     std::uint32_t stride, unsigned alignment,
                     std::uint32_t elements = 1024);
-
-/**
- * Run one grid point on a PVA system with an explicit configuration
- * (for ablation studies: VC count, row policy, bypass paths, geometry,
- * timing, refresh).
- */
-SweepPoint runPvaPoint(const PvaConfig &config, KernelId kernel,
-                       std::uint32_t stride, unsigned alignment,
-                       std::uint32_t elements = 1024);
 
 /** Min and max cycles across the five alignment presets. */
 struct MinMaxCycles

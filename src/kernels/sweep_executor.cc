@@ -1,0 +1,121 @@
+#include "kernels/sweep_executor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace pva
+{
+
+SweepExecutor::SweepExecutor(unsigned jobs) : workerCount(jobs)
+{
+    if (workerCount == 0) {
+        workerCount = std::thread::hardware_concurrency();
+        if (workerCount == 0)
+            workerCount = 1;
+    }
+    statSet.addScalar("sweep.points", &statPoints);
+    statSet.addScalar("sweep.simCycles", &statSimCycles);
+    statSet.addScalar("sweep.mismatches", &statMismatches);
+    statSet.addDistribution("sweep.pointMillis", &statPointMillis);
+}
+
+std::vector<SweepPoint>
+SweepExecutor::run(const std::vector<SweepRequest> &grid)
+{
+    std::vector<SweepPoint> results(grid.size());
+    std::atomic<std::size_t> next{0};
+    std::mutex lock;
+    std::size_t done = 0;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= grid.size())
+                return;
+            auto t0 = std::chrono::steady_clock::now();
+            SweepPoint p = runPoint(grid[i]);
+            double millis =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            results[i] = p;
+
+            std::lock_guard<std::mutex> guard(lock);
+            ++statPoints;
+            statSimCycles += p.cycles;
+            statMismatches += p.mismatches;
+            statPointMillis.sample(
+                static_cast<std::uint64_t>(millis));
+            ++done;
+            if (progress)
+                progress({done, grid.size(), p, millis});
+        }
+    };
+
+    std::size_t n = std::min<std::size_t>(workerCount, grid.size());
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (std::size_t t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return results;
+}
+
+std::vector<SweepRequest>
+SweepExecutor::chapter6Grid(std::uint32_t elements,
+                            const SystemConfig &config)
+{
+    std::vector<SweepRequest> grid;
+    grid.reserve(allSystems().size() * allKernels().size() *
+                 paperStrides().size() * alignmentPresets().size());
+    for (SystemKind sys : allSystems()) {
+        for (KernelId k : allKernels()) {
+            for (std::uint32_t s : paperStrides()) {
+                for (unsigned a = 0; a < alignmentPresets().size();
+                     ++a) {
+                    SweepRequest req;
+                    req.system = sys;
+                    req.kernel = k;
+                    req.stride = s;
+                    req.alignment = a;
+                    req.elements = elements;
+                    req.config = config;
+                    grid.push_back(req);
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+void
+writeCsvHeader(std::ostream &os)
+{
+    os << "system,kernel,stride,alignment,cycles,mismatches\n";
+}
+
+void
+writeCsvRow(std::ostream &os, const SweepPoint &point)
+{
+    os << systemName(point.system) << ','
+       << kernelSpec(point.kernel).name << ',' << point.stride << ','
+       << alignmentPresets()[point.alignment].name << ',' << point.cycles
+       << ',' << point.mismatches << '\n';
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<SweepPoint> &points)
+{
+    writeCsvHeader(os);
+    for (const SweepPoint &p : points)
+        writeCsvRow(os, p);
+}
+
+} // namespace pva

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parallel execution of evaluation-grid sweeps.
+ *
+ * Every grid point is an independent simulation (its own MemorySystem,
+ * Simulation clock, and backing store), so the chapter 6 grid is
+ * embarrassingly parallel. The SweepExecutor fans requests out to a
+ * std::thread pool and aggregates results in *issue order*: the result
+ * vector is indexed by request position, so the output — and any CSV
+ * derived from it — is byte-identical no matter how many workers ran
+ * or how they interleaved.
+ *
+ * Progress and timing are reported through the standard stats layer:
+ * the executor owns a StatSet with completed-point / simulated-cycle
+ * counters and a per-point wall-time distribution, and an optional
+ * progress callback fires (serialized, in completion order) after each
+ * point for live reporting.
+ */
+
+#ifndef PVA_KERNELS_SWEEP_EXECUTOR_HH
+#define PVA_KERNELS_SWEEP_EXECUTOR_HH
+
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "kernels/sweep.hh"
+#include "sim/stats.hh"
+
+namespace pva
+{
+
+/** Snapshot passed to the progress callback after each point. */
+struct SweepProgress
+{
+    std::size_t done;  ///< Points completed so far (including this one)
+    std::size_t total; ///< Points in the sweep
+    const SweepPoint &point; ///< The point that just completed
+    double millis;     ///< Its wall-clock run time
+};
+
+/** Runs sweep grids on a worker pool with deterministic results. */
+class SweepExecutor
+{
+  public:
+    /**
+     * @param jobs worker thread count; 0 picks
+     *             std::thread::hardware_concurrency(). 1 runs inline
+     *             on the calling thread (the serial reference path).
+     */
+    explicit SweepExecutor(unsigned jobs = 0);
+
+    unsigned jobs() const { return workerCount; }
+
+    using ProgressFn = std::function<void(const SweepProgress &)>;
+
+    /** Install a progress callback. Invoked under an internal lock —
+     *  at most one call at a time, in completion order. */
+    void onProgress(ProgressFn callback) { progress = std::move(callback); }
+
+    /**
+     * Run every request; returns one SweepPoint per request, in
+     * request order regardless of the worker count.
+     */
+    std::vector<SweepPoint> run(const std::vector<SweepRequest> &grid);
+
+    /** Executor statistics: "sweep.points", "sweep.simCycles",
+     *  "sweep.mismatches", and the "sweep.pointMillis" distribution.
+     *  Accumulates across run() calls. */
+    StatSet &stats() { return statSet; }
+
+    /**
+     * The full chapter 6 evaluation grid (4 systems x 8 kernels x
+     * 6 strides x 5 alignments) in canonical order: systems outermost,
+     * then kernels, strides, alignments.
+     */
+    static std::vector<SweepRequest>
+    chapter6Grid(std::uint32_t elements = 1024,
+                 const SystemConfig &config = {});
+
+  private:
+    unsigned workerCount;
+    ProgressFn progress;
+
+    StatSet statSet;
+    Scalar statPoints;
+    Scalar statSimCycles;
+    Scalar statMismatches;
+    Distribution statPointMillis{5};
+};
+
+/** @name Grid CSV emission
+ * The machine-readable format shared by bench_export_csv,
+ * `pva_sim --sweep`, and the determinism tests:
+ * `system,kernel,stride,alignment,cycles,mismatches` with the paper's
+ * system and alignment-preset names.
+ * @{ */
+void writeCsvHeader(std::ostream &os);
+void writeCsvRow(std::ostream &os, const SweepPoint &point);
+void writeCsv(std::ostream &os, const std::vector<SweepPoint> &points);
+/** @} */
+
+} // namespace pva
+
+#endif // PVA_KERNELS_SWEEP_EXECUTOR_HH

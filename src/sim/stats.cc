@@ -81,6 +81,21 @@ StatSet::hasScalar(const std::string &name) const
     return scalars.find(name) != scalars.end();
 }
 
+const Distribution &
+StatSet::distribution(const std::string &name) const
+{
+    auto it = distributions.find(name);
+    if (it == distributions.end())
+        panic("no distribution stat named '%s'", name.c_str());
+    return *it->second;
+}
+
+bool
+StatSet::hasDistribution(const std::string &name) const
+{
+    return distributions.find(name) != distributions.end();
+}
+
 void
 StatSet::dump(std::ostream &os) const
 {
@@ -100,6 +115,37 @@ StatSet::dumpCsv(std::ostream &os) const
     os << "stat,value\n";
     for (const auto &[name, stat] : scalars)
         os << name << "," << stat->value() << "\n";
+}
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    os << "{\"scalars\": {";
+    bool first = true;
+    for (const auto &[name, stat] : scalars) {
+        os << (first ? "" : ", ") << '"' << name
+           << "\": " << stat->value();
+        first = false;
+    }
+    os << "}, \"distributions\": {";
+    first = true;
+    for (const auto &[name, stat] : distributions) {
+        os << (first ? "" : ", ") << '"' << name << "\": {"
+           << "\"samples\": " << stat->samples()
+           << ", \"min\": " << stat->minValue()
+           << ", \"max\": " << stat->maxValue()
+           << ", \"mean\": " << stat->mean()
+           << ", \"bucketWidth\": " << stat->bucketWidth()
+           << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::uint64_t b : stat->buckets()) {
+            os << (first_bucket ? "" : ", ") << b;
+            first_bucket = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "}}\n";
 }
 
 } // namespace pva

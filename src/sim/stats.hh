@@ -81,11 +81,27 @@ class StatSet
     /** True iff a scalar with this name is registered. */
     bool hasScalar(const std::string &name) const;
 
+    /** Look up a distribution; panics if not registered. */
+    const Distribution &distribution(const std::string &name) const;
+
+    /** True iff a distribution with this name is registered. */
+    bool hasDistribution(const std::string &name) const;
+
     /** Dump all stats, one per line, "name value" sorted by name. */
     void dump(std::ostream &os) const;
 
     /** Dump as CSV with a header row. */
     void dumpCsv(std::ostream &os) const;
+
+    /**
+     * Dump as a JSON object for structured harness export:
+     * {"scalars": {name: value, ...},
+     *  "distributions": {name: {"samples": n, "min": lo, "max": hi,
+     *                           "mean": m, "bucketWidth": w,
+     *                           "buckets": [...]}, ...}}
+     * Keys are sorted (map order), so the output is deterministic.
+     */
+    void dumpJson(std::ostream &os) const;
 
   private:
     std::map<std::string, const Scalar *> scalars;

@@ -63,7 +63,7 @@ TEST_P(Differential, AllSystemsAgreeFunctionally)
     for (SystemKind kind :
          {SystemKind::PvaSdram, SystemKind::CacheLine,
           SystemKind::Gathering, SystemKind::PvaSram}) {
-        auto sys = makeSystem(kind, "sys");
+        auto sys = makeSystem(kind);
         ReplayResult r = replayTrace(*sys, trace);
         if (first) {
             ref_checksum = r.readChecksum;
@@ -89,8 +89,8 @@ TEST(Differential, MemoryImagesMatchAfterIdenticalTraces)
     std::string error;
     ASSERT_TRUE(parseTrace(in1, trace, error));
 
-    auto a = makeSystem(SystemKind::PvaSdram, "a");
-    auto b = makeSystem(SystemKind::Gathering, "b");
+    auto a = makeSystem(SystemKind::PvaSdram);
+    auto b = makeSystem(SystemKind::Gathering);
     replayTrace(*a, trace);
     replayTrace(*b, trace);
     // Compare every address any write in the trace touched.

@@ -174,7 +174,7 @@ class KernelRuns : public ::testing::TestWithParam<RunParam>
 TEST_P(KernelRuns, FunctionallyCorrectOnStride7)
 {
     const auto [kernel, system] = GetParam();
-    auto sys = makeSystem(system, "sys");
+    auto sys = makeSystem(system);
     const KernelSpec &spec = kernelSpec(kernel);
     WorkloadConfig cfg;
     cfg.stride = 7;

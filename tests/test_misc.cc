@@ -41,15 +41,19 @@ TEST(WorkloadValidation, MissingStreamBasesIsFatal)
                 ::testing::ExitedWithCode(1), "stream bases");
 }
 
-TEST(SweepApi, RunPvaPointHonoursConfig)
+TEST(SweepApi, RunPointHonoursConfig)
 {
     // A 4-bank PVA must be slower than the 16-bank prototype at a
     // parallel stride (fewer banks to spread over).
-    PvaConfig small;
-    small.geometry = Geometry(4, 1);
-    PvaConfig proto;
-    SweepPoint a = runPvaPoint(small, KernelId::Copy, 19, 0, 256);
-    SweepPoint b = runPvaPoint(proto, KernelId::Copy, 19, 0, 256);
+    SweepRequest small;
+    small.kernel = KernelId::Copy;
+    small.stride = 19;
+    small.elements = 256;
+    small.config.geometry = Geometry(4, 1);
+    SweepRequest proto = small;
+    proto.config = SystemConfig{};
+    SweepPoint a = runPoint(small);
+    SweepPoint b = runPoint(proto);
     EXPECT_EQ(a.mismatches, 0u);
     EXPECT_EQ(b.mismatches, 0u);
     EXPECT_GT(a.cycles, b.cycles);
@@ -113,7 +117,7 @@ TEST(RunnerApi, ReportsMismatchesOnCorruption)
 {
     // Sanity-check that verifyTrace actually detects wrong data: build
     // a trace, run it, then corrupt one word.
-    auto sys = makeSystem(SystemKind::PvaSdram, "pva");
+    auto sys = makeSystem(SystemKind::PvaSdram);
     WorkloadConfig cfg;
     cfg.stride = 3;
     cfg.elements = 32;

@@ -61,6 +61,56 @@ TEST(Stats, StatSetDumpsSorted)
     EXPECT_FALSE(set.hasScalar("missing"));
 }
 
+TEST(Stats, StatSetDistributionLookup)
+{
+    Distribution d(10);
+    d.sample(5);
+    d.sample(15);
+    StatSet set;
+    set.addDistribution("lat", &d);
+    EXPECT_TRUE(set.hasDistribution("lat"));
+    EXPECT_FALSE(set.hasDistribution("missing"));
+    EXPECT_EQ(&set.distribution("lat"), &d);
+    EXPECT_EQ(set.distribution("lat").samples(), 2u);
+}
+
+TEST(StatsDeath, MissingDistributionPanics)
+{
+    StatSet set;
+    EXPECT_DEATH(set.distribution("nope"), "no distribution");
+}
+
+TEST(Stats, StatSetDumpsJson)
+{
+    Scalar a, b;
+    a += 7;
+    b += 9;
+    Distribution d(10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    StatSet set;
+    set.addScalar("z.second", &b);
+    set.addScalar("a.first", &a);
+    set.addDistribution("lat", &d);
+    std::ostringstream os;
+    set.dumpJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"scalars\": {\"a.first\": 7, \"z.second\": 9}, "
+              "\"distributions\": {\"lat\": {\"samples\": 3, "
+              "\"min\": 5, \"max\": 15, \"mean\": 11.6667, "
+              "\"bucketWidth\": 10, \"buckets\": [1, 2]}}}\n");
+}
+
+TEST(Stats, EmptyStatSetDumpsEmptyJson)
+{
+    StatSet set;
+    std::ostringstream os;
+    set.dumpJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"scalars\": {}, \"distributions\": {}}\n");
+}
+
 TEST(StatsDeath, DuplicateNamePanics)
 {
     Scalar a;

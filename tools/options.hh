@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Shared command-line parsing for the pva tools.
+ *
+ * Both pva_sim and pva_replay accept the same flag vocabulary; the
+ * parser fills one SystemConfig (system construction knobs) plus the
+ * workload selection (kernel, stride, alignment, elements) and tool
+ * behaviour flags (--stats, --json, --sweep, --jobs, trace path).
+ */
+
+#ifndef PVA_TOOLS_OPTIONS_HH
+#define PVA_TOOLS_OPTIONS_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/system_config.hh"
+#include "kernels/sweep.hh"
+#include "sim/logging.hh"
+
+namespace pva::tools
+{
+
+/** Everything a tool invocation can configure. */
+struct ToolOptions
+{
+    std::string kernel = "copy";
+    std::string system = "pva";
+    std::uint32_t stride = 19;
+    unsigned alignment = 0;
+    std::uint32_t elements = 1024;
+    bool stats = false;     ///< Dump the stat set as text after the run
+    bool json = false;      ///< Dump the stat set as JSON after the run
+    bool sweep = false;     ///< pva_sim: run the full chapter 6 grid
+    unsigned jobs = 0;      ///< Sweep workers (0 = hardware threads)
+    std::string tracePath = "-"; ///< pva_replay positional argument
+    SystemConfig config{};
+};
+
+[[noreturn]] inline void
+usage(const char *text)
+{
+    std::fputs(text, stderr);
+    std::exit(2);
+}
+
+/**
+ * Parse argv into a ToolOptions, exiting with @p usage_text on any
+ * unknown flag. A bare non-flag argument is taken as the trace path.
+ */
+inline ToolOptions
+parseToolOptions(int argc, char **argv, const char *usage_text)
+{
+    ToolOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(usage_text);
+            return argv[i];
+        };
+        // Numeric flag values must be wholly numeric; fatal beats an
+        // uncaught std::invalid_argument out of std::stoul.
+        auto nextNum = [&]() -> unsigned long {
+            std::string value = next();
+            char *end = nullptr;
+            unsigned long n = std::strtoul(value.c_str(), &end, 10);
+            if (value.empty() || *end != '\0')
+                fatal("%s expects a number, got '%s'", arg.c_str(),
+                      value.c_str());
+            return n;
+        };
+        if (arg == "--kernel") {
+            opts.kernel = next();
+        } else if (arg == "--stride") {
+            opts.stride = nextNum();
+        } else if (arg == "--alignment") {
+            opts.alignment = nextNum();
+        } else if (arg == "--system") {
+            opts.system = next();
+        } else if (arg == "--elements") {
+            opts.elements = nextNum();
+        } else if (arg == "--banks") {
+            opts.config.geometry =
+                Geometry(nextNum(),
+                         opts.config.geometry.interleave());
+        } else if (arg == "--interleave") {
+            opts.config.geometry =
+                Geometry(opts.config.geometry.banks(),
+                         nextNum());
+        } else if (arg == "--vcs") {
+            opts.config.bc.vectorContexts = nextNum();
+        } else if (arg == "--row-policy") {
+            std::string p = next();
+            if (p == "managed")
+                opts.config.bc.rowPolicy = RowPolicy::Managed;
+            else if (p == "open")
+                opts.config.bc.rowPolicy = RowPolicy::AlwaysOpen;
+            else if (p == "close")
+                opts.config.bc.rowPolicy = RowPolicy::AlwaysClose;
+            else
+                usage(usage_text);
+        } else if (arg == "--refresh") {
+            opts.config.timing.tREFI = nextNum();
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--sweep") {
+            opts.sweep = true;
+        } else if (arg == "--jobs") {
+            opts.jobs = nextNum();
+        } else if (!arg.empty() && arg[0] != '-') {
+            opts.tracePath = arg;
+        } else if (arg == "-") {
+            opts.tracePath = arg;
+        } else {
+            usage(usage_text);
+        }
+    }
+    return opts;
+}
+
+/** Map the --system name to a SystemKind; fatal on unknown names. */
+inline SystemKind
+systemKindFor(const ToolOptions &opts)
+{
+    for (SystemKind kind : allSystems()) {
+        if (opts.system == systemShortName(kind))
+            return kind;
+    }
+    fatal("unknown system '%s' (try: pva cacheline gathering sram)",
+          opts.system.c_str());
+}
+
+/** Map the --kernel name to a KernelId; fatal on unknown names. */
+inline KernelId
+kernelFor(const ToolOptions &opts)
+{
+    for (KernelId k : allKernels()) {
+        if (kernelSpec(k).name == opts.kernel)
+            return k;
+    }
+    fatal("unknown kernel '%s' (try: copy saxpy scale swap tridiag "
+          "vaxpy copy2 scale2)",
+          opts.kernel.c_str());
+}
+
+/** Build the workload for the selected kernel/stride/alignment. */
+inline WorkloadConfig
+workloadFor(const ToolOptions &opts)
+{
+    if (opts.alignment >= alignmentPresets().size())
+        fatal("alignment must be 0..%zu",
+              alignmentPresets().size() - 1);
+    const KernelSpec &spec = kernelSpec(kernelFor(opts));
+    WorkloadConfig wl;
+    wl.stride = opts.stride;
+    wl.elements = opts.elements;
+    wl.lineWords = opts.config.bc.lineWords;
+    wl.streamBases = streamBases(alignmentPresets()[opts.alignment],
+                                 spec.numStreams, opts.stride,
+                                 opts.elements);
+    return wl;
+}
+
+} // namespace pva::tools
+
+#endif // PVA_TOOLS_OPTIONS_HH

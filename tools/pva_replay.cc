@@ -3,72 +3,63 @@
  * pva_replay — replay a vector-command trace file against a memory
  * system (see src/kernels/trace_file.hh for the format).
  *
- * Usage: pva_replay [--system pva|cacheline|gathering|sram] [--stats]
- *                   [trace-file | - for stdin]
+ * Usage: pva_replay [--system pva|cacheline|gathering|sram]
+ *                   [--banks N] [--interleave N] [--vcs N]
+ *                   [--row-policy managed|open|close] [--refresh TREFI]
+ *                   [--stats] [--json] [trace-file | - for stdin]
  */
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <memory>
 
-#include "kernels/sweep.hh"
 #include "kernels/trace_file.hh"
-#include "sim/logging.hh"
+#include "options.hh"
 
 using namespace pva;
+using namespace pva::tools;
+
+namespace
+{
+
+const char *kUsage =
+    "usage: pva_replay [--system pva|cacheline|gathering|sram]\n"
+    "                  [--banks N] [--interleave N] [--vcs N]\n"
+    "                  [--row-policy managed|open|close]\n"
+    "                  [--refresh TREFI] [--stats] [--json]\n"
+    "                  [trace-file | - for stdin]\n";
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string system_name = "pva";
-    std::string path = "-";
-    bool dump_stats = false;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--system" && i + 1 < argc) {
-            system_name = argv[++i];
-        } else if (arg == "--stats") {
-            dump_stats = true;
-        } else {
-            path = arg;
-        }
-    }
+    ToolOptions opts = parseToolOptions(argc, argv, kUsage);
 
     TraceFile trace;
     std::string error;
     bool ok;
-    if (path == "-") {
+    if (opts.tracePath == "-") {
         ok = parseTrace(std::cin, trace, error);
     } else {
-        std::ifstream in(path);
+        std::ifstream in(opts.tracePath);
         if (!in)
-            fatal("cannot open '%s'", path.c_str());
+            fatal("cannot open '%s'", opts.tracePath.c_str());
         ok = parseTrace(in, trace, error);
     }
     if (!ok)
-        fatal("%s: %s", path.c_str(), error.c_str());
+        fatal("%s: %s", opts.tracePath.c_str(), error.c_str());
 
-    SystemKind kind;
-    if (system_name == "pva")
-        kind = SystemKind::PvaSdram;
-    else if (system_name == "sram")
-        kind = SystemKind::PvaSram;
-    else if (system_name == "cacheline")
-        kind = SystemKind::CacheLine;
-    else if (system_name == "gathering")
-        kind = SystemKind::Gathering;
-    else
-        fatal("unknown system '%s'", system_name.c_str());
-
-    auto sys = makeSystem(kind, system_name);
+    auto sys = makeSystem(systemKindFor(opts), opts.config);
     ReplayResult r = replayTrace(*sys, trace);
     std::printf("%llu commands in %llu cycles, read checksum "
                 "%016llx\n",
                 static_cast<unsigned long long>(r.commands),
                 static_cast<unsigned long long>(r.cycles),
                 static_cast<unsigned long long>(r.readChecksum));
-    if (dump_stats)
+    if (opts.stats)
         sys->stats().dump(std::cout);
+    if (opts.json)
+        sys->stats().dumpJson(std::cout);
     return 0;
 }

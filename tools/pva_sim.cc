@@ -6,50 +6,53 @@
  *   pva_sim [--kernel NAME] [--stride N] [--alignment N]
  *           [--system pva|cacheline|gathering|sram] [--elements N]
  *           [--banks N] [--interleave N] [--vcs N]
- *           [--row-policy managed|open|close] [--stats]
+ *           [--row-policy managed|open|close] [--refresh TREFI]
+ *           [--stats] [--json] [--sweep] [--jobs N]
  *
  * Runs one grid point and prints the cycle count (and optionally the
- * full statistics dump). With no arguments: copy, stride 19, aligned,
- * on the PVA prototype.
+ * full statistics dump, as text or JSON). With no arguments: copy,
+ * stride 19, aligned, on the PVA prototype. With --sweep: runs the
+ * full chapter 6 grid (under the configured system knobs) on a worker
+ * pool and writes the CSV rows to stdout.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
-#include <string>
 
 #include "kernels/runner.hh"
-#include "kernels/sweep.hh"
-#include "sim/logging.hh"
+#include "kernels/sweep_executor.hh"
+#include "options.hh"
 
 using namespace pva;
+using namespace pva::tools;
 
 namespace
 {
 
-KernelId
-kernelByName(const std::string &name)
-{
-    for (KernelId k : allKernels()) {
-        if (kernelSpec(k).name == name)
-            return k;
-    }
-    fatal("unknown kernel '%s' (try: copy saxpy scale swap tridiag "
-          "vaxpy copy2 scale2)",
-          name.c_str());
-}
+const char *kUsage =
+    "usage: pva_sim [--kernel NAME] [--stride N] [--alignment 0-4]\n"
+    "               [--system pva|cacheline|gathering|sram]\n"
+    "               [--elements N] [--banks N] [--interleave N]\n"
+    "               [--vcs N] [--row-policy managed|open|close]\n"
+    "               [--refresh TREFI] [--stats] [--json]\n"
+    "               [--sweep] [--jobs N]\n";
 
-[[noreturn]] void
-usage()
+int
+runSweep(const ToolOptions &opts)
 {
-    std::fprintf(
-        stderr,
-        "usage: pva_sim [--kernel NAME] [--stride N] [--alignment 0-4]\n"
-        "               [--system pva|cacheline|gathering|sram]\n"
-        "               [--elements N] [--banks N] [--interleave N]\n"
-        "               [--vcs N] [--row-policy managed|open|close]\n"
-        "               [--refresh TREFI] [--stats]\n");
-    std::exit(2);
+    SweepExecutor executor(opts.jobs);
+    executor.onProgress([](const SweepProgress &p) {
+        if (p.done % 160 == 0 || p.done == p.total)
+            inform("sweep: %zu/%zu points done", p.done, p.total);
+    });
+    std::vector<SweepPoint> points = executor.run(
+        SweepExecutor::chapter6Grid(opts.elements, opts.config));
+    writeCsv(std::cout, points);
+    if (opts.stats)
+        executor.stats().dump(std::cerr);
+    if (opts.json)
+        executor.stats().dumpJson(std::cerr);
+    return executor.stats().scalar("sweep.mismatches") == 0 ? 0 : 1;
 }
 
 } // anonymous namespace
@@ -57,93 +60,26 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string kernel_name = "copy";
-    std::string system_name = "pva";
-    std::uint32_t stride = 19;
-    unsigned alignment = 0;
-    std::uint32_t elements = 1024;
-    bool dump_stats = false;
-    PvaConfig pva_cfg;
+    ToolOptions opts = parseToolOptions(argc, argv, kUsage);
+    if (opts.sweep)
+        return runSweep(opts);
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (++i >= argc)
-                usage();
-            return argv[i];
-        };
-        if (arg == "--kernel") {
-            kernel_name = next();
-        } else if (arg == "--stride") {
-            stride = std::stoul(next());
-        } else if (arg == "--alignment") {
-            alignment = std::stoul(next());
-        } else if (arg == "--system") {
-            system_name = next();
-        } else if (arg == "--elements") {
-            elements = std::stoul(next());
-        } else if (arg == "--banks") {
-            pva_cfg.geometry =
-                Geometry(std::stoul(next()),
-                         pva_cfg.geometry.interleave());
-        } else if (arg == "--interleave") {
-            pva_cfg.geometry = Geometry(pva_cfg.geometry.banks(),
-                                        std::stoul(next()));
-        } else if (arg == "--vcs") {
-            pva_cfg.bc.vectorContexts = std::stoul(next());
-        } else if (arg == "--row-policy") {
-            std::string p = next();
-            if (p == "managed")
-                pva_cfg.bc.rowPolicy = RowPolicy::Managed;
-            else if (p == "open")
-                pva_cfg.bc.rowPolicy = RowPolicy::AlwaysOpen;
-            else if (p == "close")
-                pva_cfg.bc.rowPolicy = RowPolicy::AlwaysClose;
-            else
-                usage();
-        } else if (arg == "--refresh") {
-            pva_cfg.timing.tREFI = std::stoul(next());
-        } else if (arg == "--stats") {
-            dump_stats = true;
-        } else {
-            usage();
-        }
-    }
-
-    KernelId kernel = kernelByName(kernel_name);
+    KernelId kernel = kernelFor(opts);
     const KernelSpec &spec = kernelSpec(kernel);
-    if (alignment >= alignmentPresets().size())
-        fatal("alignment must be 0..%zu", alignmentPresets().size() - 1);
+    WorkloadConfig wl = workloadFor(opts);
 
-    WorkloadConfig wl;
-    wl.stride = stride;
-    wl.elements = elements;
-    wl.streamBases = streamBases(alignmentPresets()[alignment],
-                                 spec.numStreams, stride, elements);
-
-    std::unique_ptr<MemorySystem> sys;
-    if (system_name == "pva") {
-        sys = std::make_unique<PvaUnit>("pva", pva_cfg);
-    } else if (system_name == "sram") {
-        pva_cfg.useSram = true;
-        sys = std::make_unique<PvaUnit>("sram", pva_cfg);
-    } else if (system_name == "cacheline") {
-        sys = makeSystem(SystemKind::CacheLine, "cacheline");
-    } else if (system_name == "gathering") {
-        sys = makeSystem(SystemKind::Gathering, "gathering");
-    } else {
-        usage();
-    }
-
+    auto sys = makeSystem(systemKindFor(opts), opts.config);
     RunResult r = runKernelOn(*sys, kernel, wl);
     std::printf("%s stride=%u alignment=%s system=%s elements=%u: "
                 "%llu cycles, %zu mismatches\n",
-                spec.name.c_str(), stride,
-                alignmentPresets()[alignment].name.c_str(),
-                system_name.c_str(), elements,
+                spec.name.c_str(), opts.stride,
+                alignmentPresets()[opts.alignment].name.c_str(),
+                opts.system.c_str(), opts.elements,
                 static_cast<unsigned long long>(r.cycles),
                 r.mismatches);
-    if (dump_stats)
+    if (opts.stats)
         sys->stats().dump(std::cout);
+    if (opts.json)
+        sys->stats().dumpJson(std::cout);
     return r.mismatches == 0 ? 0 : 1;
 }
