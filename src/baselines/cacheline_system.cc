@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -46,8 +47,10 @@ CacheLineSystem::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
     if (queue.size() >= cfg.maxOutstanding)
         return false;
     if (!cmd.isRead &&
-        (write_data == nullptr || write_data->size() < cmd.length))
-        fatal("write command lacks write data");
+        (write_data == nullptr || write_data->size() < cmd.length)) {
+        throw SimError(SimErrorKind::Config, name(), kNeverCycle,
+                       "write command lacks write data");
+    }
     Job job;
     job.cmd = cmd;
     job.tag = tag;

@@ -1,6 +1,7 @@
 #include "cache/l2_cache.hh"
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -9,8 +10,11 @@ L2Cache::L2Cache(const CacheConfig &config, MemorySystem &mem,
                  Simulation &sim_)
     : cfg(config), memSystem(mem), sim(sim_)
 {
-    if (!isPowerOfTwo(cfg.lineWords) || !isPowerOfTwo(cfg.sets))
-        fatal("cache line words and set count must be powers of two");
+    if (!isPowerOfTwo(cfg.lineWords) || !isPowerOfTwo(cfg.sets)) {
+        throw SimError(SimErrorKind::Config, "l2cache", kNeverCycle,
+                       "cache line words and set count must be powers "
+                       "of two");
+    }
     sets_.resize(cfg.sets, std::vector<Line>(cfg.ways));
 }
 

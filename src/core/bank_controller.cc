@@ -1,6 +1,7 @@
 #include "core/bank_controller.hh"
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -13,24 +14,42 @@ BankController::BankController(std::string name, unsigned bank,
       staging(config.transactions),
       autoPrePredict(geo_.internalBanks(), false)
 {
-    if (bank >= geo.banks())
-        fatal("bank index %u out of range", bank);
+    if (bank >= geo.banks()) {
+        throw SimError(SimErrorKind::Config, this->name(), kNeverCycle,
+                       csprintf("bank index %u out of range (%u banks)",
+                                bank, geo.banks()));
+    }
     bankIndex = bank;
+}
+
+void
+BankController::enableFaults(const FaultPlan &plan, std::uint64_t stream)
+{
+    injector = std::make_unique<FaultInjector>(plan, stream);
 }
 
 void
 BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
 {
     ++statCommandsSeen;
-    if (cmd.txn >= staging.size())
-        panic("transaction id %u out of range", cmd.txn);
+    if (cmd.txn >= staging.size()) {
+        throw SimError(SimErrorKind::Overflow, name(), now,
+                       csprintf("transaction id %u out of range (%zu "
+                                "staging units)",
+                                cmd.txn, staging.size()));
+    }
     Staging &st = staging[cmd.txn];
-    if (st.active)
-        panic("transaction id %u reused while active", cmd.txn);
+    if (st.active) {
+        throw SimError(SimErrorKind::Protocol, name(), now,
+                       csprintf("transaction id %u reused while active",
+                                cmd.txn));
+    }
 
     st.active = true;
     st.isRead = cmd.isRead;
     st.got = 0;
+    if (injector)
+        st.cmd = cmd;
     if (cmd.isRead) {
         st.line.assign(cfg.lineWords, 0);
         st.valid.assign(cfg.lineWords, false);
@@ -53,8 +72,14 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
         if (st.expected == 0)
             return; // nothing here; trivially complete
         ++statCommandsHit;
-        if (fifo.size() >= cfg.fifoEntries)
-            panic("request FIFO overflow");
+        if (fifo.size() >= cfg.fifoEntries) {
+            throw SimError(SimErrorKind::Overflow, name(), now,
+                           "request FIFO overflow");
+        }
+        if (injector) {
+            st.respAddrs = req.explicitAddrs;
+            st.respSlots = req.explicitSlots;
+        }
         // Indirect: indices broadcast two per cycle after the command;
         // BitReversal: the pattern is generated locally (one extra
         // cycle, like the power-of-two FHP path).
@@ -83,8 +108,14 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
         if (st.expected == 0)
             return;
         ++statCommandsHit;
-        if (fifo.size() >= cfg.fifoEntries)
-            panic("request FIFO overflow");
+        if (fifo.size() >= cfg.fifoEntries) {
+            throw SimError(SimErrorKind::Overflow, name(), now,
+                           "request FIFO overflow");
+        }
+        if (injector) {
+            st.respAddrs = req.explicitAddrs;
+            st.respSlots = req.explicitSlots;
+        }
         req.visibleAt = isPowerOfTwo(cmd.stride)
                             ? now + 2
                             : now + 2 + cfg.fhcLatency;
@@ -113,10 +144,36 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
     sub.firstIndex = fh.index;
     sub.delta = pla.delta(sm);
     sub.count = 1 + (cmd.length - 1 - fh.index) / sub.delta;
+
+    if (injector && injector->corruptFirstHit()) {
+        // Fault injection: the FHP yields a wrong sub-vector. The BC
+        // proceeds in good faith; only the TimingChecker's shadow
+        // gather model (or the end-of-run functional check) can tell.
+        ++statCorruptedFirstHits;
+        if (sub.count > 1) {
+            --sub.count; // lost the tail element
+        } else {
+            st.expected = 0; // predicted no-hit: sub-vector dropped
+            return;
+        }
+    }
     st.expected = sub.count;
 
-    if (fifo.size() >= cfg.fifoEntries)
-        panic("request FIFO overflow (bus transaction limit violated?)");
+    if (fifo.size() >= cfg.fifoEntries) {
+        throw SimError(SimErrorKind::Overflow, name(), now,
+                       "request FIFO overflow (bus transaction limit "
+                       "violated?)");
+    }
+    if (injector) {
+        st.respAddrs.clear();
+        st.respSlots.clear();
+        for (std::uint32_t j = 0; j < sub.count; ++j) {
+            std::uint32_t idx = sub.index(j);
+            st.respAddrs.push_back(
+                cmd.base + static_cast<WordAddr>(cmd.stride) * idx);
+            st.respSlots.push_back(static_cast<std::uint8_t>(idx));
+        }
+    }
 
     // --- Latency through FHP / RQF / FHC (sections 5.2.2-5.2.3) -------
     const Cycle enq = now + 1; // FHP takes one cycle
@@ -185,12 +242,70 @@ BankController::drainDeviceReturns(Cycle now)
 {
     ReadReturn r;
     while (dev.popReady(now, r)) {
+        if (injector && injector->dropTransfer()) {
+            // Fault injection: the word is lost between the device
+            // pins and the staging unit. maybeRecover() re-fetches it
+            // once the transaction is otherwise quiescent.
+            ++statDroppedReturns;
+            continue;
+        }
         Staging &st = staging[r.txn];
-        if (!st.active || !st.isRead)
-            panic("stray read return for transaction %u", r.txn);
+        if (!st.active || !st.isRead) {
+            throw SimError(SimErrorKind::Protocol, name(), now,
+                           csprintf("stray read return for transaction "
+                                    "%u", r.txn));
+        }
         st.line[r.slot] = r.data;
         st.valid[r.slot] = true;
         ++st.got;
+    }
+}
+
+bool
+BankController::hasWorkFor(std::uint8_t txn) const
+{
+    for (const Request &r : fifo) {
+        if (r.cmd.txn == txn)
+            return true;
+    }
+    for (const VectorContext &vc : vcs) {
+        if (vc.cmd.txn == txn && !vc.done())
+            return true;
+    }
+    return false;
+}
+
+void
+BankController::maybeRecover(Cycle now)
+{
+    if (!injector || !dev.quiescent())
+        return;
+    for (std::size_t t = 0; t < staging.size(); ++t) {
+        Staging &st = staging[t];
+        if (!st.active || !st.isRead || st.got >= st.expected)
+            continue;
+        if (st.respAddrs.empty() ||
+            hasWorkFor(static_cast<std::uint8_t>(t)))
+            continue;
+        if (vcs.size() >= cfg.vectorContexts)
+            return; // no free vector context; retry next cycle
+
+        // Every element this BC owed is accounted for except the
+        // dropped ones: re-expand exactly the missing slots into a
+        // fresh explicit-list vector context.
+        VectorContext vc;
+        vc.cmd = st.cmd;
+        for (std::size_t i = 0; i < st.respSlots.size(); ++i) {
+            if (!st.valid[st.respSlots[i]]) {
+                vc.explicitAddrs.push_back(st.respAddrs[i]);
+                vc.explicitSlots.push_back(st.respSlots[i]);
+            }
+        }
+        if (vc.explicitAddrs.empty())
+            continue;
+        ++statRecoveries;
+        vcs.push_back(std::move(vc));
+        (void)now;
     }
 }
 
@@ -411,6 +526,14 @@ BankController::tick(Cycle now)
 {
     dev.tick(now); // apply auto-refresh before scheduling decisions
     drainDeviceReturns(now);
+    if (injector && injector->bcStall()) {
+        // Fault injection: the scheduler loses this cycle (delayed
+        // bank-controller response). Returns were still drained; all
+        // dequeue/issue work waits for the next cycle.
+        ++statStallCycles;
+        return;
+    }
+    maybeRecover(now);
     dequeueIntoVc(now);
     bool issued = tryActivatePrecharge(now);
     if (!issued)
@@ -433,6 +556,11 @@ BankController::registerStats(StatSet &set, const std::string &prefix) const
     set.addScalar(prefix + ".elements", &statElements);
     set.addScalar(prefix + ".bypasses", &statBypasses);
     set.addScalar(prefix + ".schedActiveCycles", &statSchedActiveCycles);
+    set.addScalar(prefix + ".stallCycles", &statStallCycles);
+    set.addScalar(prefix + ".droppedReturns", &statDroppedReturns);
+    set.addScalar(prefix + ".recoveries", &statRecoveries);
+    set.addScalar(prefix + ".corruptedFirstHits",
+                  &statCorruptedFirstHits);
 }
 
 } // namespace pva

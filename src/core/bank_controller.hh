@@ -37,6 +37,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,7 @@
 #include "core/vector_command.hh"
 #include "sdram/device.hh"
 #include "sim/component.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace pva
@@ -107,6 +109,14 @@ class BankController : public Component
     /** Nothing queued, scheduled, or in flight. */
     bool idle() const;
 
+    /**
+     * Enable fault injection for this BC (scheduler stalls, dropped
+     * read returns, corrupted FirstHit results) on stream @p stream.
+     * Dropped returns are detected and re-fetched by the recovery
+     * logic in tick(); corruption is left for the TimingChecker.
+     */
+    void enableFaults(const FaultPlan &plan, std::uint64_t stream);
+
     const Geometry &geometry() const { return geo; }
     BankDevice &device() { return dev; }
 
@@ -116,6 +126,10 @@ class BankController : public Component
     Scalar statElements;
     Scalar statBypasses;
     Scalar statSchedActiveCycles;
+    Scalar statStallCycles;       ///< Fault-injected scheduler stalls
+    Scalar statDroppedReturns;    ///< Fault-injected lost read words
+    Scalar statRecoveries;        ///< Sub-vector re-fetches issued
+    Scalar statCorruptedFirstHits; ///< Fault-injected FHP corruptions
     /** @} */
 
     void registerStats(StatSet &set, const std::string &prefix) const;
@@ -182,6 +196,12 @@ class BankController : public Component
         std::vector<Word> line;  ///< Read gather / write scatter data
         std::vector<bool> valid; ///< Read slots gathered so far
         bool haveWriteData = false;
+        /** The command and sub-vector this BC committed to, captured
+         *  at observe time for drop-recovery (populated only under
+         *  fault injection; parallel arrays addr/slot). */
+        VectorCommand cmd;
+        std::vector<WordAddr> respAddrs;
+        std::vector<std::uint8_t> respSlots;
 
         bool complete() const { return !active || got >= expected; }
     };
@@ -190,6 +210,13 @@ class BankController : public Component
     void dequeueIntoVc(Cycle now);
     bool tryActivatePrecharge(Cycle now);
     bool tryReadWrite(Cycle now);
+
+    /** Re-fetch gathered-but-lost elements of quiescent, incomplete
+     *  read transactions (fault-injection recovery path). */
+    void maybeRecover(Cycle now);
+
+    /** Is any queued or scheduled work still tagged @p txn? */
+    bool hasWorkFor(std::uint8_t txn) const;
 
     /** Does any VC other than @p except have its next element on the
      *  open row of internal bank @p ibank? (bank_hit/morehit_predict) */
@@ -224,6 +251,7 @@ class BankController : public Component
     std::deque<VectorContext> vcs;   ///< Oldest at front (highest prio)
     std::vector<Staging> staging;    ///< Indexed by transaction id
     std::vector<bool> autoPrePredict; ///< Per internal bank (section 5.2.2)
+    std::unique_ptr<FaultInjector> injector;
 
     Cycle fhcBusyUntil = 0; ///< FHC pipeline occupancy
     Cycle lastDequeue = kNeverCycle;

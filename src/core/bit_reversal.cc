@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -11,9 +12,11 @@ std::vector<VectorCommand>
 bitReversalCommands(WordAddr base, std::uint32_t count, unsigned line_words,
                     bool is_read)
 {
-    if (!isPowerOfTwo(count))
-        fatal("bit-reversal vector length %u must be a power of two",
-              count);
+    if (!isPowerOfTwo(count)) {
+        throw SimError(SimErrorKind::Config, "bitrev", kNeverCycle,
+                       csprintf("bit-reversal vector length %u must be a "
+                                "power of two", count));
+    }
     const unsigned bits = log2Exact(count);
     std::vector<VectorCommand> cmds;
     for (std::uint32_t off = 0; off < count; off += line_words) {

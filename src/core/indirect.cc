@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -111,8 +112,10 @@ runIndirectScatter(MemorySystem &sys, Simulation &sim,
                    WordAddr target_base, const std::vector<Word> &values,
                    unsigned line_words)
 {
-    if (values.size() < count)
-        fatal("scatter values shorter than index count");
+    if (values.size() < count) {
+        throw SimError(SimErrorKind::Config, "indirect", kNeverCycle,
+                       "scatter values shorter than index count");
+    }
     Cycle start = sim.now();
 
     auto phase1 = indirectPhase1(index_vec_base, count, line_words);

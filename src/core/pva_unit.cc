@@ -1,7 +1,9 @@
 #include "core/pva_unit.hh"
 
 #include "sdram/sram_device.hh"
+#include "sdram/timing_checker.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -11,6 +13,11 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
       vectorBus(config.bc.lineWords), txns(config.bc.transactions)
 {
     const unsigned banks = cfg.geometry.banks();
+    if (cfg.timingCheck) {
+        checker = std::make_unique<TimingChecker>(
+            cfg.geometry, cfg.timing, banks, cfg.bc.transactions,
+            cfg.bc.lineWords);
+    }
     devices.reserve(banks);
     bcs.reserve(banks);
     for (unsigned b = 0; b < banks; ++b) {
@@ -19,15 +26,23 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
             devices.push_back(std::make_unique<SramDevice>(
                 dev_name, b, cfg.geometry, backing));
         } else {
-            devices.push_back(std::make_unique<SdramDevice>(
-                dev_name, b, cfg.geometry, cfg.timing, backing));
+            auto dev = std::make_unique<SdramDevice>(
+                dev_name, b, cfg.geometry, cfg.timing, backing);
+            if (cfg.faults.enabled())
+                dev->enableFaults(cfg.faults, b * 2);
+            devices.push_back(std::move(dev));
         }
+        devices.back()->setChecker(checker.get());
         bcs.push_back(std::make_unique<BankController>(
             csprintf("%s.bc%u", this->name().c_str(), b), b, cfg.geometry,
             cfg.bc, *devices.back()));
+        if (cfg.faults.enabled())
+            bcs.back()->enableFaults(cfg.faults, b * 2 + 1);
     }
 
     vectorBus.registerStats(statSet, "bus");
+    if (checker)
+        checker->registerStats(statSet, "checker");
     statSet.addScalar("frontend.reads", &statReads);
     statSet.addScalar("frontend.writes", &statWrites);
     statSet.addDistribution("frontend.readLatency", &statReadLatency);
@@ -47,11 +62,16 @@ bool
 PvaUnit::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
                    const std::vector<Word> *write_data)
 {
-    if (cmd.length == 0 || cmd.length > cfg.bc.lineWords)
-        fatal("vector command length %u out of range", cmd.length);
+    if (cmd.length == 0 || cmd.length > cfg.bc.lineWords) {
+        throw SimError(SimErrorKind::Config, name(), lastTickCycle,
+                       csprintf("vector command length %u out of range "
+                                "(1..%u)", cmd.length, cfg.bc.lineWords));
+    }
     if (!cmd.isRead &&
-        (write_data == nullptr || write_data->size() < cmd.length))
-        fatal("write command lacks write data");
+        (write_data == nullptr || write_data->size() < cmd.length)) {
+        throw SimError(SimErrorKind::Config, name(), lastTickCycle,
+                       "write command lacks write data");
+    }
 
     for (std::uint8_t id = 0; id < txns.size(); ++id) {
         if (txns[id].state != TxnState::Free)
@@ -96,6 +116,10 @@ PvaUnit::finishRead(std::uint8_t id, Cycle now)
     c.data.assign(t.cmd.length, 0);
     for (const auto &bc : bcs)
         bc->collectInto(id, c.data);
+    if (checker) {
+        checker->verifyGather(t.cmd, c.data, now);
+        checker->releaseTxn(id);
+    }
     completions.push_back(std::move(c));
     for (const auto &bc : bcs)
         bc->releaseTxn(id);
@@ -107,6 +131,10 @@ PvaUnit::finishWrite(std::uint8_t id, Cycle now)
 {
     Txn &t = txns[id];
     statWriteLatency.sample(now - t.acceptedAt);
+    if (checker) {
+        checker->verifyScatter(t.cmd, t.writeData, now);
+        checker->releaseTxn(id);
+    }
     completions.push_back({t.tag, {}});
     for (const auto &bc : bcs)
         bc->releaseTxn(id);
@@ -174,6 +202,8 @@ PvaUnit::tick(Cycle now)
             if (found) {
                 Txn &t = txns[chosen];
                 vectorBus.drive(now, {BusOpcode::VecWrite, t.cmd, chosen});
+                if (checker)
+                    checker->beginTxn(t.cmd);
                 for (const auto &bc : bcs)
                     bc->observeVecCommand(now, t.cmd);
                 t.state = TxnState::Scattering;
@@ -184,6 +214,8 @@ PvaUnit::tick(Cycle now)
                 if (t.state == TxnState::QueuedRead) {
                     submitOrder.pop_front();
                     vectorBus.drive(now, {BusOpcode::VecRead, t.cmd, id});
+                    if (checker)
+                        checker->beginTxn(t.cmd);
                     for (const auto &bc : bcs)
                         bc->observeVecCommand(now, t.cmd);
                     t.state = TxnState::Gathering;

@@ -36,6 +36,8 @@
 namespace pva
 {
 
+class TimingChecker;
+
 /** The PVA unit as a complete memory system. */
 class PvaUnit : public MemorySystem
 {
@@ -92,6 +94,8 @@ class PvaUnit : public MemorySystem
     VectorBus vectorBus;
     std::vector<std::unique_ptr<BankDevice>> devices;
     std::vector<std::unique_ptr<BankController>> bcs;
+    /** Redundant protocol/data checker (present iff cfg.timingCheck). */
+    std::unique_ptr<TimingChecker> checker;
 
     std::vector<Txn> txns;
     std::deque<std::uint8_t> submitOrder; ///< FIFO of queued commands

@@ -1,6 +1,7 @@
 #include "core/shadow.hh"
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -14,14 +15,18 @@ ShadowMemorySystem::ShadowMemorySystem(std::string name,
 void
 ShadowMemorySystem::mapShadow(const ShadowRegion &region)
 {
-    if (region.stride == 0 || region.length == 0)
-        fatal("shadow region needs stride >= 1 and length >= 1");
+    if (region.stride == 0 || region.length == 0) {
+        throw SimError(SimErrorKind::Config, name(), kNeverCycle,
+                       "shadow region needs stride >= 1 and length >= 1");
+    }
     for (const ShadowRegion &r : regions) {
         bool disjoint =
             region.shadowBase + region.length <= r.shadowBase ||
             r.shadowBase + r.length <= region.shadowBase;
-        if (!disjoint)
-            fatal("overlapping shadow regions");
+        if (!disjoint) {
+            throw SimError(SimErrorKind::Config, name(), kNeverCycle,
+                           "overlapping shadow regions");
+        }
     }
     regions.push_back(region);
 }
@@ -39,8 +44,11 @@ ShadowMemorySystem::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
             WordAddr last =
                 cmd.base + static_cast<WordAddr>(cmd.stride) *
                                (cmd.length ? cmd.length - 1 : 0);
-            if (last >= r.shadowBase + r.length)
-                fatal("vector command crosses a shadow region boundary");
+            if (last >= r.shadowBase + r.length) {
+                throw SimError(SimErrorKind::Config, name(), kNeverCycle,
+                               "vector command crosses a shadow region "
+                               "boundary");
+            }
             // Shadow word (shadowBase + k) backs real word
             // (realBase + k*stride): compose the strides.
             VectorCommand real = cmd;

@@ -1,6 +1,7 @@
 #include "core/split_vector.hh"
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -8,10 +9,15 @@ namespace pva
 void
 MmcTlb::mapSuperpage(WordAddr vbase, WordAddr pbase, std::uint32_t size)
 {
-    if (!isPowerOfTwo(size))
-        fatal("superpage size %u is not a power of two", size);
-    if (vbase % size != 0 || pbase % size != 0)
-        fatal("superpage bases must be size-aligned");
+    if (!isPowerOfTwo(size)) {
+        throw SimError(SimErrorKind::Config, "mmc.tlb", kNeverCycle,
+                       csprintf("superpage size %u is not a power of two",
+                                size));
+    }
+    if (vbase % size != 0 || pbase % size != 0) {
+        throw SimError(SimErrorKind::Config, "mmc.tlb", kNeverCycle,
+                       "superpage bases must be size-aligned");
+    }
     entries.push_back({vbase, pbase, size});
 }
 
@@ -22,8 +28,9 @@ MmcTlb::lookup(WordAddr vaddr) const
         if (vaddr >= e.vbase && vaddr < e.vbase + e.size)
             return {e.pbase + (vaddr - e.vbase), e.size};
     }
-    fatal("TLB miss for word address %llu",
-          static_cast<unsigned long long>(vaddr));
+    throw SimError(SimErrorKind::Config, "mmc.tlb", kNeverCycle,
+                   csprintf("TLB miss for word address %llu",
+                            static_cast<unsigned long long>(vaddr)));
 }
 
 void
@@ -39,8 +46,10 @@ MmcTlb::identityMap(WordAddr base, std::uint64_t span,
 std::vector<VectorCommand>
 splitVector(const VectorCommand &v, const MmcTlb &tlb)
 {
-    if (v.stride == 0)
-        fatal("splitVector requires stride >= 1");
+    if (v.stride == 0) {
+        throw SimError(SimErrorKind::Config, "mmc.split", kNeverCycle,
+                       "splitVector requires stride >= 1");
+    }
 
     // "index of most significant power of 2 in V.S", rounded up so the
     // shift is a safe lower bound: 2^shift >= stride.

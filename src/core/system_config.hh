@@ -7,10 +7,15 @@
  * tools, the sweep executor) fills in and hands to makeSystem(): the
  * memory geometry (bank count, interleave factor), the SDRAM timing
  * parameters including auto-refresh, the bank-controller
- * microarchitecture (vector contexts, row policy, bypasses), and the
- * serial baselines' accounting knobs. Each concrete system consumes
- * the subset that applies to it; the PVA-specific projection is
- * PvaConfig (toPva()).
+ * microarchitecture (vector contexts, row policy, bypasses), the
+ * serial baselines' accounting knobs, and the robustness layer (the
+ * TimingChecker switch and the fault-injection plan). Each concrete
+ * system consumes the subset that applies to it; the PVA-specific
+ * projection is PvaConfig (toPva()).
+ *
+ * validate() rejects unsupportable values with a SimError(Config)
+ * naming the offending field, so bad knobs fail fast with a clear
+ * message instead of as undefined behavior deep inside a run.
  */
 
 #ifndef PVA_CORE_SYSTEM_CONFIG_HH
@@ -19,6 +24,9 @@
 #include "core/bank_controller.hh"
 #include "sdram/device.hh"
 #include "sdram/geometry.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -30,6 +38,8 @@ struct PvaConfig
     SdramTiming timing{};
     BcConfig bc{};
     bool useSram = false; ///< Build the PVA-SRAM comparison system
+    bool timingCheck = false; ///< Attach the redundant TimingChecker
+    FaultPlan faults{};       ///< Fault injection (disabled by default)
 };
 
 /**
@@ -37,7 +47,8 @@ struct PvaConfig
  *
  * The default-constructed value is the paper's prototype point:
  * 16 word-interleaved banks, 2-2-2 SDRAM timing with refresh
- * disabled, 4 vector contexts with the ManageRow policy.
+ * disabled, 4 vector contexts with the ManageRow policy, no checker,
+ * no fault injection.
  */
 struct SystemConfig
 {
@@ -51,6 +62,10 @@ struct SystemConfig
     unsigned maxOutstanding = 8;
     /** Cache-line baseline accounting (see CacheLineConfig). */
     bool optimisticLineReuse = false;
+    /** Attach the redundant protocol/data checker (PVA systems). */
+    bool timingCheck = false;
+    /** Fault-injection plan (PVA systems; disabled by default). */
+    FaultPlan faults{};
 
     /** The PVA-specific projection of this configuration. */
     PvaConfig
@@ -61,7 +76,66 @@ struct SystemConfig
         p.timing = timing;
         p.bc = bc;
         p.useSram = use_sram;
+        p.timingCheck = timingCheck;
+        p.faults = faults;
         return p;
+    }
+
+    /**
+     * Reject unsupportable configurations with a SimError(Config)
+     * naming the offending knob. Called by makeSystem() so every
+     * construction path — tools, benches, sweep points — fails fast
+     * with a message instead of misbehaving downstream.
+     *
+     * (Geometry's own constructor already rejects non-power-of-two
+     * bank counts and interleave factors.)
+     */
+    void
+    validate() const
+    {
+        auto reject = [](const std::string &detail) {
+            throw SimError(SimErrorKind::Config, "config", kNeverCycle,
+                           detail);
+        };
+        if (bc.lineWords == 0)
+            reject("bc.lineWords must be nonzero");
+        if (bc.lineWords % 2 != 0)
+            reject(csprintf("bc.lineWords %u must be even (two words "
+                            "per bus data cycle)", bc.lineWords));
+        if (bc.transactions == 0 || bc.transactions > 256)
+            reject(csprintf("bc.transactions %u must be in 1..256 "
+                            "(8-bit transaction ids)",
+                            bc.transactions));
+        if (bc.vectorContexts == 0)
+            reject("bc.vectorContexts must be nonzero");
+        if (bc.fifoEntries == 0)
+            reject("bc.fifoEntries must be nonzero");
+        if (geometry.interleave() > bc.lineWords)
+            reject(csprintf("interleave factor %u exceeds the %u-word "
+                            "cache line", geometry.interleave(),
+                            bc.lineWords));
+        if (timing.tCL == 0 || timing.tRCD == 0 || timing.tRP == 0)
+            reject("SDRAM timing tCL/tRCD/tRP must be nonzero");
+        if (timing.tRAS == 0)
+            reject("SDRAM timing tRAS must be nonzero");
+        if (timing.tRC < timing.tRAS)
+            reject(csprintf("tRC %u shorter than tRAS %u (activate-to-"
+                            "activate cannot beat activate-to-"
+                            "precharge)", timing.tRC, timing.tRAS));
+        if (timing.tREFI != 0 && timing.tRFC == 0)
+            reject("tRFC must be nonzero when tREFI refresh is "
+                   "enabled");
+        if (maxOutstanding == 0)
+            reject("maxOutstanding must be nonzero");
+        auto checkRate = [&](double rate, const char *field) {
+            if (!(rate >= 0.0 && rate <= 1.0))
+                reject(csprintf("fault rate %s = %g outside [0, 1]",
+                                field, rate));
+        };
+        checkRate(faults.refreshStallRate, "refreshStallRate");
+        checkRate(faults.bcStallRate, "bcStallRate");
+        checkRate(faults.dropTransferRate, "dropTransferRate");
+        checkRate(faults.corruptFirstHitRate, "corruptFirstHitRate");
     }
 };
 

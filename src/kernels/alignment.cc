@@ -1,6 +1,7 @@
 #include "kernels/alignment.hh"
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -39,9 +40,12 @@ std::vector<WordAddr>
 streamBases(const AlignmentPreset &preset, unsigned num_streams,
             std::uint32_t stride, std::uint32_t elements)
 {
-    if (num_streams > preset.skews.size())
-        fatal("alignment preset '%s' supports %zu streams, need %u",
-              preset.name.c_str(), preset.skews.size(), num_streams);
+    if (num_streams > preset.skews.size()) {
+        throw SimError(SimErrorKind::Config, "alignment", kNeverCycle,
+                       csprintf("alignment preset '%s' supports %zu "
+                                "streams, need %u", preset.name.c_str(),
+                                preset.skews.size(), num_streams));
+    }
 
     // Span of one stream, rounded to a row-stripe boundary, plus one
     // extra stripe so the largest skew cannot overlap the next stream.

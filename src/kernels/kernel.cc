@@ -3,6 +3,7 @@
 #include <map>
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -111,11 +112,18 @@ KernelTrace
 buildTrace(const KernelSpec &spec, const WorkloadConfig &cfg,
            const SparseMemory &mem)
 {
-    if (cfg.streamBases.size() < spec.numStreams)
-        fatal("kernel %s needs %u stream bases, got %zu",
-              spec.name.c_str(), spec.numStreams, cfg.streamBases.size());
-    if (cfg.elements % cfg.lineWords != 0)
-        fatal("element count must be a multiple of the line length");
+    if (cfg.streamBases.size() < spec.numStreams) {
+        throw SimError(SimErrorKind::Config, "kernel", kNeverCycle,
+                       csprintf("kernel %s needs %u stream bases, got %zu",
+                                spec.name.c_str(), spec.numStreams,
+                                cfg.streamBases.size()));
+    }
+    if (cfg.elements % cfg.lineWords != 0) {
+        throw SimError(SimErrorKind::Config, "kernel", kNeverCycle,
+                       csprintf("element count %u must be a multiple of "
+                                "the line length %u", cfg.elements,
+                                cfg.lineWords));
+    }
 
     const std::uint32_t L = cfg.elements;
     const unsigned lw = cfg.lineWords;

@@ -6,14 +6,16 @@ namespace pva
 {
 
 RunResult
-runTrace(MemorySystem &sys, const KernelTrace &trace)
+runTrace(MemorySystem &sys, const KernelTrace &trace,
+         const RunLimits &limits)
 {
     Simulation sim;
     sim.add(&sys);
     VectorCommandUnit vcu(sys, trace);
 
     Cycle start = sim.now();
-    sim.runUntil([&] { return vcu.service(); }, 50000000);
+    sim.runUntil([&] { return vcu.service(); }, limits.maxCycles,
+                 limits.timeoutMillis);
 
     RunResult r;
     r.cycles = sim.now() - start;
@@ -22,11 +24,12 @@ runTrace(MemorySystem &sys, const KernelTrace &trace)
 }
 
 RunResult
-runKernelOn(MemorySystem &sys, KernelId kernel, const WorkloadConfig &config)
+runKernelOn(MemorySystem &sys, KernelId kernel, const WorkloadConfig &config,
+            const RunLimits &limits)
 {
     KernelTrace trace = buildTrace(kernelSpec(kernel), config,
                                    sys.memory());
-    return runTrace(sys, trace);
+    return runTrace(sys, trace, limits);
 }
 
 } // namespace pva

@@ -20,15 +20,24 @@ struct RunResult
     std::size_t mismatches = 0; ///< Functional check (0 = correct)
 };
 
+/** Watchdog budgets for one run (see Simulation::runUntil). */
+struct RunLimits
+{
+    Cycle maxCycles = 50000000;  ///< Simulated-cycle watchdog
+    double timeoutMillis = 0.0;  ///< Wall-clock watchdog; 0 disables
+};
+
 /** Run @p trace on @p sys; verifies the final memory image. */
-RunResult runTrace(MemorySystem &sys, const KernelTrace &trace);
+RunResult runTrace(MemorySystem &sys, const KernelTrace &trace,
+                   const RunLimits &limits = {});
 
 /**
  * Convenience: build the trace for @p kernel under @p config against
  * the system's current memory image and run it.
  */
 RunResult runKernelOn(MemorySystem &sys, KernelId kernel,
-                      const WorkloadConfig &config);
+                      const WorkloadConfig &config,
+                      const RunLimits &limits = {});
 
 } // namespace pva
 

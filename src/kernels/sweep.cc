@@ -5,6 +5,7 @@
 #include "core/pva_unit.hh"
 #include "kernels/runner.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -56,6 +57,7 @@ systemShortName(SystemKind kind)
 std::unique_ptr<MemorySystem>
 makeSystem(SystemKind kind, const SystemConfig &config)
 {
+    config.validate();
     const std::string name = systemShortName(kind);
     switch (kind) {
       case SystemKind::PvaSdram:
@@ -94,7 +96,7 @@ runPoint(const SweepRequest &request)
                                   request.stride, request.elements);
 
     auto sys = makeSystem(request.system, request.config);
-    RunResult r = runKernelOn(*sys, request.kernel, cfg);
+    RunResult r = runKernelOn(*sys, request.kernel, cfg, request.limits);
 
     return {request.system, request.kernel, request.stride,
             request.alignment, r.cycles, r.mismatches};
@@ -120,10 +122,13 @@ runAcrossAlignments(SystemKind system, KernelId kernel,
     MinMaxCycles mm{kNeverCycle, 0};
     for (unsigned a = 0; a < alignmentPresets().size(); ++a) {
         SweepPoint p = runPoint(system, kernel, stride, a, elements);
-        if (p.mismatches != 0)
-            panic("functional mismatch in %s/%s stride %u alignment %u",
-                  systemName(system), kernelSpec(kernel).name.c_str(),
-                  stride, a);
+        if (p.mismatches != 0) {
+            throw SimError(
+                SimErrorKind::Corruption, "sweep", kNeverCycle,
+                csprintf("functional mismatch in %s/%s stride %u "
+                         "alignment %u", systemName(system),
+                         kernelSpec(kernel).name.c_str(), stride, a));
+        }
         mm.min = std::min(mm.min, p.cycles);
         mm.max = std::max(mm.max, p.cycles);
     }

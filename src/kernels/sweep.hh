@@ -23,6 +23,7 @@
 #include "core/system_config.hh"
 #include "kernels/alignment.hh"
 #include "kernels/kernel.hh"
+#include "kernels/runner.hh"
 
 namespace pva
 {
@@ -60,6 +61,15 @@ struct SweepRequest
     unsigned alignment = 0; ///< Index into alignmentPresets()
     std::uint32_t elements = 1024;
     SystemConfig config{};
+    RunLimits limits{}; ///< Per-point watchdog budgets
+};
+
+/** How one grid point concluded (see SweepExecutor retry policy). */
+enum class PointStatus : std::uint8_t
+{
+    Ok,      ///< Succeeded on the first attempt
+    Retried, ///< Succeeded after at least one failed attempt
+    Failed,  ///< All attempts exhausted (cycles/mismatches invalid)
 };
 
 /** Cycle count of one (system, kernel, stride, alignment) point. */
@@ -71,6 +81,8 @@ struct SweepPoint
     unsigned alignment; ///< Index into alignmentPresets()
     Cycle cycles;
     std::size_t mismatches;
+    PointStatus status = PointStatus::Ok;
+    unsigned attempts = 1; ///< Attempts consumed (1 = no retries)
 };
 
 /** Run one grid point. */

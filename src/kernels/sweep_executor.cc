@@ -1,12 +1,85 @@
 #include "kernels/sweep_executor.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 
+#include "sim/sim_error.hh"
+
 namespace pva
 {
+
+namespace
+{
+
+/** JSON string escaping for failure diagnostics. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Per-attempt fault-seed advance: a retry of a fault-injected point
+ *  must explore a different fault timeline, not replay the failure. */
+constexpr std::uint64_t kRetrySeedStep = 0x9e3779b97f4a7c15ULL;
+
+} // anonymous namespace
+
+void
+SweepReport::dumpJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"points\": " << points.size() << ",\n"
+       << "  \"ok\": " << ok << ",\n"
+       << "  \"retried\": " << retried << ",\n"
+       << "  \"failed\": " << failed << ",\n"
+       << "  \"failures\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const PointFailure &f = failures[i];
+        os << (i ? ",\n    " : "\n    ") << "{\"index\": " << f.index
+           << ", \"system\": \"" << systemShortName(f.system)
+           << "\", \"kernel\": \"" << kernelSpec(f.kernel).name
+           << "\", \"stride\": " << f.stride
+           << ", \"alignment\": " << f.alignment
+           << ", \"attempts\": " << f.attempts << ", \"error\": \""
+           << jsonEscape(f.error) << "\"}";
+    }
+    os << (failures.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
 
 SweepExecutor::SweepExecutor(unsigned jobs) : workerCount(jobs)
 {
@@ -18,13 +91,22 @@ SweepExecutor::SweepExecutor(unsigned jobs) : workerCount(jobs)
     statSet.addScalar("sweep.points", &statPoints);
     statSet.addScalar("sweep.simCycles", &statSimCycles);
     statSet.addScalar("sweep.mismatches", &statMismatches);
+    statSet.addScalar("sweep.retries", &statRetries);
+    statSet.addScalar("sweep.failures", &statFailures);
     statSet.addDistribution("sweep.pointMillis", &statPointMillis);
 }
 
-std::vector<SweepPoint>
-SweepExecutor::run(const std::vector<SweepRequest> &grid)
+void
+SweepExecutor::setMaxAttempts(unsigned attempts)
 {
-    std::vector<SweepPoint> results(grid.size());
+    attemptBudget = std::max(1u, attempts);
+}
+
+SweepReport
+SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
+{
+    SweepReport report;
+    report.points.resize(grid.size());
     std::atomic<std::size_t> next{0};
     std::mutex lock;
     std::size_t done = 0;
@@ -34,23 +116,66 @@ SweepExecutor::run(const std::vector<SweepRequest> &grid)
             std::size_t i = next.fetch_add(1);
             if (i >= grid.size())
                 return;
+
+            SweepRequest req = grid[i];
+            if (pointTimeoutMillis > 0.0 &&
+                req.limits.timeoutMillis <= 0.0) {
+                req.limits.timeoutMillis = pointTimeoutMillis;
+            }
+
             auto t0 = std::chrono::steady_clock::now();
-            SweepPoint p = runPoint(grid[i]);
+            SweepPoint p{req.system, req.kernel, req.stride,
+                         req.alignment, 0, 0};
+            bool succeeded = false;
+            unsigned attempts = 0;
+            std::string last_error;
+            while (attempts < attemptBudget) {
+                ++attempts;
+                bool retryable = true;
+                try {
+                    // runPoint builds a fresh system, so each attempt
+                    // starts from clean state.
+                    p = runPoint(req);
+                    succeeded = true;
+                } catch (const SimError &e) {
+                    last_error = e.what();
+                    // A watchdog expiry is deterministic for a given
+                    // request — burning the rest of the attempt budget
+                    // on it just multiplies the timeout.
+                    retryable = e.kind() != SimErrorKind::Watchdog;
+                } catch (const std::exception &e) {
+                    last_error = e.what();
+                }
+                if (succeeded || !retryable)
+                    break;
+                if (req.config.faults.enabled())
+                    req.config.faults.seed += kRetrySeedStep;
+            }
+            p.attempts = attempts;
+            p.status = !succeeded ? PointStatus::Failed
+                       : attempts > 1 ? PointStatus::Retried
+                                      : PointStatus::Ok;
             double millis =
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-            results[i] = p;
+            report.points[i] = p;
 
             std::lock_guard<std::mutex> guard(lock);
             ++statPoints;
             statSimCycles += p.cycles;
             statMismatches += p.mismatches;
-            statPointMillis.sample(
-                static_cast<std::uint64_t>(millis));
+            statRetries += attempts - 1;
+            if (!succeeded) {
+                ++statFailures;
+                report.failures.push_back({i, req.system, req.kernel,
+                                           req.stride, req.alignment,
+                                           attempts, last_error});
+            }
+            statPointMillis.sample(static_cast<std::uint64_t>(millis));
             ++done;
             if (progress)
-                progress({done, grid.size(), p, millis});
+                progress({done, grid.size(), report.points[i], millis});
         }
     };
 
@@ -65,7 +190,34 @@ SweepExecutor::run(const std::vector<SweepRequest> &grid)
         for (std::thread &t : pool)
             t.join();
     }
-    return results;
+
+    // Failures were appended in completion order; report them in
+    // request order so the report is deterministic across worker
+    // counts.
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const PointFailure &a, const PointFailure &b) {
+                  return a.index < b.index;
+              });
+    for (const SweepPoint &p : report.points) {
+        switch (p.status) {
+          case PointStatus::Ok:
+            ++report.ok;
+            break;
+          case PointStatus::Retried:
+            ++report.retried;
+            break;
+          case PointStatus::Failed:
+            ++report.failed;
+            break;
+        }
+    }
+    return report;
+}
+
+std::vector<SweepPoint>
+SweepExecutor::run(const std::vector<SweepRequest> &grid)
+{
+    return runReport(grid).points;
 }
 
 std::vector<SweepRequest>

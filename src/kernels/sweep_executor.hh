@@ -1,6 +1,6 @@
 /**
  * @file
- * Parallel execution of evaluation-grid sweeps.
+ * Parallel, fault-tolerant execution of evaluation-grid sweeps.
  *
  * Every grid point is an independent simulation (its own MemorySystem,
  * Simulation clock, and backing store), so the chapter 6 grid is
@@ -10,11 +10,22 @@
  * derived from it — is byte-identical no matter how many workers ran
  * or how they interleaved.
  *
+ * A sweep always completes. Each point runs under a try/catch with a
+ * bounded retry budget and per-point watchdogs (simulated cycles and
+ * wall clock, see RunLimits): a SimError — protocol violation,
+ * detected corruption, bad configuration — fails the attempt, a fresh
+ * system is built for the next attempt, and a point whose budget is
+ * exhausted is marked Failed in the final SweepReport instead of
+ * taking the process down. Watchdog expiries are not retried (a hung
+ * point hangs deterministically). When fault injection is enabled, the
+ * fault seed is advanced between attempts so a retry explores a
+ * different fault timeline rather than replaying the failure.
+ *
  * Progress and timing are reported through the standard stats layer:
- * the executor owns a StatSet with completed-point / simulated-cycle
- * counters and a per-point wall-time distribution, and an optional
- * progress callback fires (serialized, in completion order) after each
- * point for live reporting.
+ * the executor owns a StatSet with completed-point / simulated-cycle /
+ * retry / failure counters and a per-point wall-time distribution, and
+ * an optional progress callback fires (serialized, in completion
+ * order) after each point for live reporting.
  */
 
 #ifndef PVA_KERNELS_SWEEP_EXECUTOR_HH
@@ -22,6 +33,7 @@
 
 #include <functional>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "kernels/sweep.hh"
@@ -39,6 +51,35 @@ struct SweepProgress
     double millis;     ///< Its wall-clock run time
 };
 
+/** Diagnostics for one grid point that exhausted its attempts. */
+struct PointFailure
+{
+    std::size_t index = 0; ///< Position in the request grid
+    SystemKind system = SystemKind::PvaSdram;
+    KernelId kernel = KernelId::Copy;
+    std::uint32_t stride = 1;
+    unsigned alignment = 0;
+    unsigned attempts = 0;  ///< Attempts consumed before giving up
+    std::string error;      ///< what() of the last attempt's exception
+};
+
+/** Outcome of a resilient sweep: every point accounted for. */
+struct SweepReport
+{
+    /** One entry per request, in request order. Failed points carry
+     *  status == PointStatus::Failed and zeroed cycle counts. */
+    std::vector<SweepPoint> points;
+    std::size_t ok = 0;      ///< Succeeded on the first attempt
+    std::size_t retried = 0; ///< Succeeded after at least one retry
+    std::size_t failed = 0;  ///< Exhausted the attempt budget
+    std::vector<PointFailure> failures; ///< In request order
+
+    bool allOk() const { return failed == 0; }
+
+    /** Machine-readable summary (see docs/ROBUSTNESS.md). */
+    void dumpJson(std::ostream &os) const;
+};
+
 /** Runs sweep grids on a worker pool with deterministic results. */
 class SweepExecutor
 {
@@ -52,6 +93,15 @@ class SweepExecutor
 
     unsigned jobs() const { return workerCount; }
 
+    /** Attempt budget per point (>= 1; default 3). */
+    void setMaxAttempts(unsigned attempts);
+    unsigned maxAttempts() const { return attemptBudget; }
+
+    /** Default per-point wall-clock watchdog, applied to requests
+     *  that do not set RunLimits::timeoutMillis themselves.
+     *  0 (the default) leaves requests unchanged. */
+    void setPointTimeout(double millis) { pointTimeoutMillis = millis; }
+
     using ProgressFn = std::function<void(const SweepProgress &)>;
 
     /** Install a progress callback. Invoked under an internal lock —
@@ -59,14 +109,23 @@ class SweepExecutor
     void onProgress(ProgressFn callback) { progress = std::move(callback); }
 
     /**
+     * Run every request with retry/watchdog isolation; returns the
+     * full per-point accounting, in request order regardless of the
+     * worker count.
+     */
+    SweepReport runReport(const std::vector<SweepRequest> &grid);
+
+    /**
      * Run every request; returns one SweepPoint per request, in
-     * request order regardless of the worker count.
+     * request order regardless of the worker count. (The points of
+     * runReport(); failed points are marked PointStatus::Failed.)
      */
     std::vector<SweepPoint> run(const std::vector<SweepRequest> &grid);
 
     /** Executor statistics: "sweep.points", "sweep.simCycles",
-     *  "sweep.mismatches", and the "sweep.pointMillis" distribution.
-     *  Accumulates across run() calls. */
+     *  "sweep.mismatches", "sweep.retries", "sweep.failures", and the
+     *  "sweep.pointMillis" distribution. Accumulates across run()
+     *  calls. */
     StatSet &stats() { return statSet; }
 
     /**
@@ -80,12 +139,16 @@ class SweepExecutor
 
   private:
     unsigned workerCount;
+    unsigned attemptBudget = 3;
+    double pointTimeoutMillis = 0.0;
     ProgressFn progress;
 
     StatSet statSet;
     Scalar statPoints;
     Scalar statSimCycles;
     Scalar statMismatches;
+    Scalar statRetries;
+    Scalar statFailures;
     Distribution statPointMillis{5};
 };
 

@@ -1,6 +1,8 @@
 #include "sdram/device.hh"
 
+#include "sdram/timing_checker.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -32,21 +34,39 @@ SdramDevice::dataCycleOf(const DeviceOp &op, Cycle now) const
 }
 
 void
+SdramDevice::applyRefresh(Cycle now)
+{
+    refreshBusyUntil = std::max(refreshBusyUntil, now + times.tRFC);
+    for (InternalBank &ib : ibanks) {
+        ib.open = false;
+        ib.activateReadyAt =
+            std::max(ib.activateReadyAt, refreshBusyUntil);
+    }
+    if (checker)
+        checker->onRefresh(bankIndex, now, refreshBusyUntil);
+}
+
+void
 SdramDevice::tick(Cycle now)
 {
+    if (injector && injector->refreshStall()) {
+        ++statInjectedRefreshes;
+        applyRefresh(now);
+    }
     if (times.tREFI == 0)
         return;
     Cycle boundary = (now / times.tREFI) * times.tREFI;
     if (boundary == 0 || boundary == lastRefreshApplied)
         return;
     lastRefreshApplied = boundary;
-    refreshBusyUntil = boundary + times.tRFC;
     ++statRefreshes;
-    for (InternalBank &ib : ibanks) {
-        ib.open = false;
-        ib.activateReadyAt =
-            std::max(ib.activateReadyAt, refreshBusyUntil);
-    }
+    applyRefresh(boundary);
+}
+
+void
+SdramDevice::enableFaults(const FaultPlan &plan, std::uint64_t stream)
+{
+    injector = std::make_unique<FaultInjector>(plan, stream);
 }
 
 bool
@@ -94,10 +114,14 @@ SdramDevice::canIssue(const DeviceOp &op, Cycle now) const
 void
 SdramDevice::issue(const DeviceOp &op, Cycle now)
 {
-    if (!canIssue(op, now))
-        panic("%s: illegal %d issued at cycle %llu", name().c_str(),
-              static_cast<int>(op.kind),
-              static_cast<unsigned long long>(now));
+    if (!canIssue(op, now)) {
+        throw SimError(SimErrorKind::Protocol, name(), now,
+                       csprintf("illegal command kind %d issued (restimer "
+                                "scoreboard disagreement)",
+                                static_cast<int>(op.kind)));
+    }
+    if (checker)
+        checker->onCommand(name(), bankIndex, op, now);
     lastCommandCycle = now;
 
     switch (op.kind) {
@@ -139,11 +163,15 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
 
         if (is_read) {
             ++statReads;
-            pending.push_back(
-                {data, memory.read(op.addr), op.txn, op.slot});
+            Word value = memory.read(op.addr);
+            if (checker)
+                checker->onReadData(bankIndex, op, value);
+            pending.push_back({data, value, op.txn, op.slot});
         } else {
             ++statWrites;
             memory.write(op.addr, op.writeData);
+            if (checker)
+                checker->onWriteData(bankIndex, op);
             ib.prechargeReadyAt =
                 std::max(ib.prechargeReadyAt, data + times.tWR);
         }
@@ -180,8 +208,11 @@ SdramDevice::isRowOpen(unsigned ibank, std::uint32_t row) const
 std::uint32_t
 SdramDevice::openRow(unsigned ibank) const
 {
-    if (!ibanks[ibank].open)
-        panic("openRow queried on closed internal bank %u", ibank);
+    if (!ibanks[ibank].open) {
+        throw SimError(SimErrorKind::Protocol, name(), kNeverCycle,
+                       csprintf("openRow queried on closed internal "
+                                "bank %u", ibank));
+    }
     return ibanks[ibank].row;
 }
 
@@ -201,6 +232,7 @@ SdramDevice::registerStats(StatSet &set, const std::string &prefix) const
     set.addScalar(prefix + ".writes", &statWrites);
     set.addScalar(prefix + ".rowHitAccesses", &statRowHitAccesses);
     set.addScalar(prefix + ".refreshes", &statRefreshes);
+    set.addScalar(prefix + ".injectedRefreshes", &statInjectedRefreshes);
 }
 
 } // namespace pva

@@ -20,16 +20,20 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "sdram/geometry.hh"
 #include "sim/component.hh"
+#include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace pva
 {
+
+class TimingChecker;
 
 /** SDRAM timing parameters in memory-clock cycles. */
 struct SdramTiming
@@ -90,8 +94,12 @@ class BankDevice : public Component
     /** May @p op legally issue in cycle @p now? Side-effect free. */
     virtual bool canIssue(const DeviceOp &op, Cycle now) const = 0;
 
-    /** Commit @p op in cycle @p now. Panics if illegal (scoreboard bug). */
+    /** Commit @p op in cycle @p now. Throws SimError(Protocol) if
+     *  illegal (scoreboard bug). */
     virtual void issue(const DeviceOp &op, Cycle now) = 0;
+
+    /** Attach the redundant protocol/data checker (may be null). */
+    void setChecker(TimingChecker *c) { checker = c; }
 
     /** Is some row open (bank active) in internal bank @p ibank? */
     virtual bool anyRowOpen(unsigned ibank) const = 0;
@@ -120,6 +128,7 @@ class BankDevice : public Component
     unsigned bankIndex;
     const Geometry &geometry;
     SparseMemory &memory;
+    TimingChecker *checker = nullptr;
     std::deque<ReadReturn> pending; ///< Ordered by readyAt.
 };
 
@@ -144,6 +153,10 @@ class SdramDevice : public BankDevice
      */
     void tick(Cycle now) override;
 
+    /** Enable fault injection (spontaneous refresh stalls) for this
+     *  device, drawing decisions from the plan's stream @p stream. */
+    void enableFaults(const FaultPlan &plan, std::uint64_t stream);
+
     /** @name Statistics @{ */
     Scalar statActivates;
     Scalar statPrecharges;
@@ -151,6 +164,7 @@ class SdramDevice : public BankDevice
     Scalar statWrites;
     Scalar statRowHitAccesses; ///< Read/write without a fresh activate
     Scalar statRefreshes;
+    Scalar statInjectedRefreshes; ///< Fault-injected refresh stalls
     /** @} */
 
     void registerStats(StatSet &set, const std::string &prefix) const;
@@ -171,8 +185,12 @@ class SdramDevice : public BankDevice
     /** When would @p op's word occupy the device data pins? */
     Cycle dataCycleOf(const DeviceOp &op, Cycle now) const;
 
+    /** Close every internal bank and hold the device busy for tRFC. */
+    void applyRefresh(Cycle now);
+
     SdramTiming times;
     std::vector<InternalBank> ibanks;
+    std::unique_ptr<FaultInjector> injector;
 
     Cycle lastCommandCycle = kNeverCycle; ///< One command bus per device
     Cycle lastDataCycle = 0;              ///< Data pin occupancy high-water

@@ -1,6 +1,7 @@
 #include "sdram/geometry.hh"
 
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -10,10 +11,16 @@ Geometry::Geometry(unsigned banks, unsigned interleave, unsigned col_bits,
     : numBanks(banks), numInterleave(interleave), columnBits(col_bits),
       ibankBits(ibank_bits), rowAddressBits(row_bits)
 {
-    if (!isPowerOfTwo(banks))
-        fatal("bank count %u is not a power of two", banks);
-    if (!isPowerOfTwo(interleave))
-        fatal("interleave factor %u is not a power of two", interleave);
+    if (!isPowerOfTwo(banks)) {
+        throw SimError(SimErrorKind::Config, "geometry", kNeverCycle,
+                       csprintf("bank count %u is not a power of two",
+                                banks));
+    }
+    if (!isPowerOfTwo(interleave)) {
+        throw SimError(SimErrorKind::Config, "geometry", kNeverCycle,
+                       csprintf("interleave factor %u is not a power "
+                                "of two", interleave));
+    }
     mBits = log2Exact(banks);
     nBits = log2Exact(interleave);
 }

@@ -1,6 +1,8 @@
 #include "sdram/sram_device.hh"
 
+#include "sdram/timing_checker.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -32,19 +34,25 @@ SramDevice::canIssue(const DeviceOp &op, Cycle now) const
 void
 SramDevice::issue(const DeviceOp &op, Cycle now)
 {
-    if (!canIssue(op, now))
-        panic("%s: illegal SRAM op at cycle %llu", name().c_str(),
-              static_cast<unsigned long long>(now));
+    if (!canIssue(op, now)) {
+        throw SimError(SimErrorKind::Protocol, name(), now,
+                       "illegal SRAM op (scoreboard disagreement)");
+    }
     lastCommandCycle = now;
     lastDataCycle = now + 1;
     anyDataYet = true;
 
     if (op.kind == DeviceOp::Kind::Read) {
         ++statReads;
-        pending.push_back({now + 1, memory.read(op.addr), op.txn, op.slot});
+        Word value = memory.read(op.addr);
+        if (checker)
+            checker->onReadData(bankIndex, op, value);
+        pending.push_back({now + 1, value, op.txn, op.slot});
     } else {
         ++statWrites;
         memory.write(op.addr, op.writeData);
+        if (checker)
+            checker->onWriteData(bankIndex, op);
     }
 }
 

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Structured simulator error reporting.
+ *
+ * SimError replaces process-terminating fatal()/panic() calls on the
+ * paths a sweep harness must survive: a violated SDRAM protocol
+ * constraint, a corrupted gather, an unsupportable configuration, or a
+ * hung simulation. Each error carries the reporting component's name
+ * and the cycle it was detected at, so a SweepReport can attribute a
+ * failed grid point without a debugger.
+ *
+ * panic() remains for invariants that indicate a bug in the simulator
+ * itself (e.g. stat-registry misuse); SimError is for conditions the
+ * surrounding harness is expected to isolate, report, and retry.
+ */
+
+#ifndef PVA_SIM_SIM_ERROR_HH
+#define PVA_SIM_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace pva
+{
+
+/** Broad classification of a recoverable simulator error. */
+enum class SimErrorKind
+{
+    Config,     ///< Unsupportable user configuration or workload
+    Protocol,   ///< SDRAM/bus timing or state-machine rule violated
+    Corruption, ///< Gathered/scattered data diverges from the shadow model
+    Overflow,   ///< Structural resource exceeded (FIFO, transaction ids)
+    Watchdog,   ///< Simulation exceeded its cycle or wall-clock budget
+};
+
+/** Short lowercase tag for diagnostics ("protocol", "watchdog", ...). */
+inline const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Config:
+        return "config";
+      case SimErrorKind::Protocol:
+        return "protocol";
+      case SimErrorKind::Corruption:
+        return "corruption";
+      case SimErrorKind::Overflow:
+        return "overflow";
+      case SimErrorKind::Watchdog:
+        return "watchdog";
+    }
+    return "?";
+}
+
+/** A recoverable simulation error with component and cycle context. */
+class SimError : public std::runtime_error
+{
+  public:
+    /** @param cycle detection cycle, or kNeverCycle when no simulation
+     *         clock applies (construction-time configuration errors). */
+    SimError(SimErrorKind kind, std::string component, Cycle cycle,
+             const std::string &detail)
+        : std::runtime_error(format(kind, component, cycle, detail)),
+          errorKind(kind), componentName(std::move(component)),
+          errorCycle(cycle), detailText(detail)
+    {
+    }
+
+    SimErrorKind kind() const { return errorKind; }
+    const std::string &component() const { return componentName; }
+    Cycle cycle() const { return errorCycle; }
+    const std::string &detail() const { return detailText; }
+
+  private:
+    static std::string
+    format(SimErrorKind kind, const std::string &component, Cycle cycle,
+           const std::string &detail)
+    {
+        std::string msg = "[";
+        msg += simErrorKindName(kind);
+        msg += "] ";
+        msg += component;
+        if (cycle != kNeverCycle) {
+            msg += " @ cycle ";
+            msg += std::to_string(cycle);
+        }
+        msg += ": ";
+        msg += detail;
+        return msg;
+    }
+
+    SimErrorKind errorKind;
+    std::string componentName;
+    Cycle errorCycle;
+    std::string detailText;
+};
+
+} // namespace pva
+
+#endif // PVA_SIM_SIM_ERROR_HH

@@ -1,6 +1,9 @@
 #include "sim/simulation.hh"
 
+#include <chrono>
+
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace pva
 {
@@ -14,13 +17,40 @@ Simulation::step()
 }
 
 Cycle
-Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
+                     double wall_limit_millis)
 {
+    using SteadyClock = std::chrono::steady_clock;
+    // Check the wall clock only once per stripe of cycles; a
+    // steady_clock read per simulated cycle would dominate the run.
+    constexpr Cycle kWallCheckStride = 4096;
+
     Cycle start = currentCycle;
+    const auto wall_start = SteadyClock::now();
     while (!done()) {
         if (currentCycle - start >= max_cycles) {
-            panic("simulation watchdog expired after %llu cycles",
-                  static_cast<unsigned long long>(max_cycles));
+            throw SimError(SimErrorKind::Watchdog, "simulation",
+                           currentCycle,
+                           csprintf("cycle watchdog expired after %llu "
+                                    "cycles",
+                                    static_cast<unsigned long long>(
+                                        max_cycles)));
+        }
+        if (wall_limit_millis > 0.0 &&
+            (currentCycle - start) % kWallCheckStride == 0) {
+            double elapsed_ms =
+                std::chrono::duration<double, std::milli>(
+                    SteadyClock::now() - wall_start)
+                    .count();
+            if (elapsed_ms >= wall_limit_millis) {
+                throw SimError(
+                    SimErrorKind::Watchdog, "simulation", currentCycle,
+                    csprintf("wall-clock watchdog expired after %.0f ms "
+                             "(%llu cycles simulated)",
+                             elapsed_ms,
+                             static_cast<unsigned long long>(
+                                 currentCycle - start)));
+            }
         }
         step();
     }

@@ -39,12 +39,21 @@ class Simulation
     /**
      * Run until @p done returns true, checking after every cycle.
      *
-     * @param done     Completion predicate.
-     * @param max_cycles  Watchdog; panics if exceeded (deadlock guard).
+     * Two watchdogs guard against a hung model: a cycle budget and an
+     * optional wall-clock budget (checked every few thousand cycles to
+     * keep the steady_clock reads off the fast path). Either expiring
+     * throws SimError(Watchdog) so callers — notably the sweep
+     * executor — can report the point and move on instead of aborting
+     * the process.
+     *
+     * @param done              Completion predicate.
+     * @param max_cycles        Simulated-cycle watchdog.
+     * @param wall_limit_millis Wall-clock watchdog; 0 disables it.
      * @return the cycle count when @p done first held.
      */
     Cycle runUntil(const std::function<bool()> &done,
-                   Cycle max_cycles = 100000000);
+                   Cycle max_cycles = 100000000,
+                   double wall_limit_millis = 0.0);
 
   private:
     std::vector<Component *> components;

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared assertion for SimError-throwing call sites: checks the error
+ * kind and that what() carries the expected diagnostic substring.
+ */
+
+#ifndef PVA_TESTS_EXPECT_SIM_ERROR_HH
+#define PVA_TESTS_EXPECT_SIM_ERROR_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "sim/sim_error.hh"
+
+namespace pva::test
+{
+
+template <typename Fn>
+void
+expectSimError(Fn &&fn, SimErrorKind kind, const std::string &substr)
+{
+    try {
+        std::forward<Fn>(fn)();
+        ADD_FAILURE() << "expected SimError[" << simErrorKindName(kind)
+                      << "] containing '" << substr << "', got no throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), kind) << e.what();
+        EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+            << "diagnostic '" << e.what() << "' lacks '" << substr << "'";
+    }
+}
+
+} // namespace pva::test
+
+#endif // PVA_TESTS_EXPECT_SIM_ERROR_HH

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/bank_controller.hh"
+#include "expect_sim_error.hh"
 #include "sdram/sram_device.hh"
 #include "sim/logging.hh"
 
@@ -277,7 +278,7 @@ TEST_F(BcTest, FhcSerializesNonPowerOfTwoRequests)
     EXPECT_TRUE(bc.txnComplete(1));
 }
 
-TEST_F(BcTest, TxnReusePanics)
+TEST_F(BcTest, TxnReuseThrows)
 {
     VectorCommand cmd;
     cmd.base = 3;
@@ -286,7 +287,8 @@ TEST_F(BcTest, TxnReusePanics)
     cmd.isRead = true;
     cmd.txn = 0;
     bc.observeVecCommand(0, cmd);
-    EXPECT_DEATH(bc.observeVecCommand(1, cmd), "reused");
+    test::expectSimError([&] { bc.observeVecCommand(1, cmd); },
+                         SimErrorKind::Protocol, "reused");
 }
 
 } // anonymous namespace

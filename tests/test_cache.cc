@@ -11,6 +11,7 @@
 #include "cache/l2_cache.hh"
 #include "core/pva_unit.hh"
 #include "core/shadow.hh"
+#include "expect_sim_error.hh"
 #include "sim/simulation.hh"
 
 namespace pva
@@ -196,18 +197,18 @@ TEST(ShadowRegionDeath, RejectsBadRegions)
     PvaUnit inner("pva", PvaConfig{});
     ShadowMemorySystem shadow("shadow", inner);
     shadow.mapShadow({1000, 100, 0, 4});
-    EXPECT_EXIT(shadow.mapShadow({1050, 100, 0, 4}),
-                ::testing::ExitedWithCode(1), "overlap");
-    EXPECT_EXIT(shadow.mapShadow({5000, 0, 0, 4}),
-                ::testing::ExitedWithCode(1), "length");
+    test::expectSimError([&] { shadow.mapShadow({1050, 100, 0, 4}); },
+                         SimErrorKind::Config, "overlap");
+    test::expectSimError([&] { shadow.mapShadow({5000, 0, 0, 4}); },
+                         SimErrorKind::Config, "length");
 
     VectorCommand crossing;
     crossing.base = 1090;
     crossing.stride = 1;
     crossing.length = 32; // runs past shadow end at 1100
     crossing.isRead = true;
-    EXPECT_EXIT(shadow.trySubmit(crossing, 0, nullptr),
-                ::testing::ExitedWithCode(1), "boundary");
+    test::expectSimError([&] { shadow.trySubmit(crossing, 0, nullptr); },
+                         SimErrorKind::Config, "boundary");
 }
 
 TEST(CacheWithShadow, ShadowPathReachesFullUtilization)

@@ -10,6 +10,7 @@
 #include "core/bit_reversal.hh"
 #include "core/indirect.hh"
 #include "core/pva_unit.hh"
+#include "expect_sim_error.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 
@@ -50,8 +51,8 @@ TEST(BitReversalCommands, CoverThePermutationExactly)
 
 TEST(BitReversalCommandsDeath, RequiresPowerOfTwo)
 {
-    EXPECT_EXIT(bitReversalCommands(0, 100, 32, true),
-                ::testing::ExitedWithCode(1), "power of two");
+    test::expectSimError([] { bitReversalCommands(0, 100, 32, true); },
+                         SimErrorKind::Config, "power of two");
 }
 
 TEST(BitReversal, GatherPermutesThroughThePva)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_sim_error.hh"
 #include "sdram/geometry.hh"
 
 namespace pva
@@ -91,8 +92,10 @@ TEST(Geometry, ConsecutiveWordsInBankSweepColumnsFirst)
 
 TEST(GeometryDeath, RejectsNonPowerOfTwo)
 {
-    EXPECT_EXIT(Geometry(12, 1), ::testing::ExitedWithCode(1), "power");
-    EXPECT_EXIT(Geometry(16, 3), ::testing::ExitedWithCode(1), "power");
+    test::expectSimError([] { Geometry(12, 1); }, SimErrorKind::Config,
+                         "power");
+    test::expectSimError([] { Geometry(16, 3); }, SimErrorKind::Config,
+                         "power");
 }
 
 } // anonymous namespace

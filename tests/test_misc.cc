@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/firsthit.hh"
+#include "expect_sim_error.hh"
 #include "kernels/runner.hh"
 #include "kernels/sweep.hh"
 #include "sim/stats.hh"
@@ -26,8 +27,9 @@ TEST(WorkloadValidation, ElementCountMustBeLineMultiple)
     cfg.stride = 1;
     cfg.elements = 100; // not a multiple of 32
     cfg.streamBases = {0, 100000};
-    EXPECT_EXIT(buildTrace(kernelSpec(KernelId::Copy), cfg, mem),
-                ::testing::ExitedWithCode(1), "multiple");
+    test::expectSimError(
+        [&] { buildTrace(kernelSpec(KernelId::Copy), cfg, mem); },
+        SimErrorKind::Config, "multiple");
 }
 
 TEST(WorkloadValidation, MissingStreamBasesIsFatal)
@@ -37,8 +39,9 @@ TEST(WorkloadValidation, MissingStreamBasesIsFatal)
     cfg.stride = 1;
     cfg.elements = 32;
     cfg.streamBases = {0}; // copy needs two streams
-    EXPECT_EXIT(buildTrace(kernelSpec(KernelId::Copy), cfg, mem),
-                ::testing::ExitedWithCode(1), "stream bases");
+    test::expectSimError(
+        [&] { buildTrace(kernelSpec(KernelId::Copy), cfg, mem); },
+        SimErrorKind::Config, "stream bases");
 }
 
 TEST(SweepApi, RunPointHonoursConfig)

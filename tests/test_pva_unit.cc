@@ -11,6 +11,7 @@
 
 #include "baselines/pva_sram_system.hh"
 #include "core/pva_unit.hh"
+#include "expect_sim_error.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 
@@ -243,12 +244,12 @@ TEST(PvaUnitDeath, BadSubmitsAreFatal)
 {
     PvaUnit sys("pva", PvaConfig{});
     VectorCommand too_long = readCmd(0, 1, 33);
-    EXPECT_EXIT(sys.trySubmit(too_long, 0, nullptr),
-                ::testing::ExitedWithCode(1), "length");
+    test::expectSimError([&] { sys.trySubmit(too_long, 0, nullptr); },
+                         SimErrorKind::Config, "length");
     VectorCommand wr = readCmd(0, 1);
     wr.isRead = false;
-    EXPECT_EXIT(sys.trySubmit(wr, 0, nullptr),
-                ::testing::ExitedWithCode(1), "write data");
+    test::expectSimError([&] { sys.trySubmit(wr, 0, nullptr); },
+                         SimErrorKind::Config, "write data");
 }
 
 } // anonymous namespace

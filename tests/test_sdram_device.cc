@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_sim_error.hh"
 #include "sdram/device.hh"
 #include "sdram/sram_device.hh"
 #include "sim/memory.hh"
@@ -216,9 +217,10 @@ TEST_F(SdramDeviceTest, QuiescentAfterDrain)
     EXPECT_TRUE(dev.quiescent());
 }
 
-TEST_F(SdramDeviceTest, IllegalIssuePanics)
+TEST_F(SdramDeviceTest, IllegalIssueThrows)
 {
-    EXPECT_DEATH(dev.issue(read(0), 0), "illegal");
+    test::expectSimError([&] { dev.issue(read(0), 0); },
+                         SimErrorKind::Protocol, "illegal");
 }
 
 TEST(SramDevice, SingleCycleAccessNoRowState)

@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "expect_sim_error.hh"
 #include "sim/logging.hh"
 #include "sim/memory.hh"
 #include "sim/random.hh"
@@ -183,10 +184,13 @@ TEST(Simulation, RunUntilStopsAtPredicate)
     EXPECT_EQ(end, 10u);
 }
 
-TEST(SimulationDeath, WatchdogPanics)
+TEST(SimulationDeath, WatchdogThrows)
 {
     Simulation sim;
-    EXPECT_DEATH(sim.runUntil([] { return false; }, 100), "watchdog");
+    test::expectSimError(
+        [&] { sim.runUntil([] { return false; }, 100); },
+        SimErrorKind::Watchdog, "watchdog");
+    EXPECT_EQ(sim.now(), 100u) << "watchdog fired at the cycle budget";
 }
 
 TEST(Random, IsDeterministicPerSeed)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/split_vector.hh"
+#include "expect_sim_error.hh"
 
 namespace pva
 {
@@ -46,13 +47,14 @@ TEST(MmcTlbDeath, MissAndMisalignmentAreFatal)
 {
     MmcTlb tlb;
     tlb.mapSuperpage(0x1000, 0x9000, 0x1000);
-    EXPECT_EXIT(tlb.lookup(0x5000), ::testing::ExitedWithCode(1),
-                "TLB miss");
+    test::expectSimError([&] { tlb.lookup(0x5000); },
+                         SimErrorKind::Config, "TLB miss");
     MmcTlb bad;
-    EXPECT_EXIT(bad.mapSuperpage(0x10, 0x9000, 0x1000),
-                ::testing::ExitedWithCode(1), "aligned");
-    EXPECT_EXIT(bad.mapSuperpage(0x1000, 0x9000, 0xfff),
-                ::testing::ExitedWithCode(1), "power of two");
+    test::expectSimError([&] { bad.mapSuperpage(0x10, 0x9000, 0x1000); },
+                         SimErrorKind::Config, "aligned");
+    test::expectSimError(
+        [&] { bad.mapSuperpage(0x1000, 0x9000, 0xfff); },
+        SimErrorKind::Config, "power of two");
 }
 
 TEST(SplitVector, IdentityMapSinglePageIsOneCommand)
@@ -183,8 +185,8 @@ TEST(SplitVectorDeath, ZeroStrideIsFatal)
     v.base = 0;
     v.stride = 0;
     v.length = 4;
-    EXPECT_EXIT(splitVector(v, tlb), ::testing::ExitedWithCode(1),
-                "stride");
+    test::expectSimError([&] { splitVector(v, tlb); },
+                         SimErrorKind::Config, "stride");
 }
 
 } // anonymous namespace

@@ -34,6 +34,8 @@ struct ToolOptions
     bool json = false;      ///< Dump the stat set as JSON after the run
     bool sweep = false;     ///< pva_sim: run the full chapter 6 grid
     unsigned jobs = 0;      ///< Sweep workers (0 = hardware threads)
+    unsigned retries = 3;   ///< Sweep attempt budget per point
+    double pointTimeout = 0.0; ///< Per-point wall-clock watchdog (ms)
     std::string tracePath = "-"; ///< pva_replay positional argument
     SystemConfig config{};
 };
@@ -71,6 +73,15 @@ parseToolOptions(int argc, char **argv, const char *usage_text)
                       value.c_str());
             return n;
         };
+        auto nextReal = [&]() -> double {
+            std::string value = next();
+            char *end = nullptr;
+            double d = std::strtod(value.c_str(), &end);
+            if (value.empty() || *end != '\0')
+                fatal("%s expects a number, got '%s'", arg.c_str(),
+                      value.c_str());
+            return d;
+        };
         if (arg == "--kernel") {
             opts.kernel = next();
         } else if (arg == "--stride") {
@@ -103,6 +114,22 @@ parseToolOptions(int argc, char **argv, const char *usage_text)
                 usage(usage_text);
         } else if (arg == "--refresh") {
             opts.config.timing.tREFI = nextNum();
+        } else if (arg == "--check") {
+            opts.config.timingCheck = true;
+        } else if (arg == "--fault-seed") {
+            opts.config.faults.seed = nextNum();
+        } else if (arg == "--fault-refresh") {
+            opts.config.faults.refreshStallRate = nextReal();
+        } else if (arg == "--fault-bc-stall") {
+            opts.config.faults.bcStallRate = nextReal();
+        } else if (arg == "--fault-drop") {
+            opts.config.faults.dropTransferRate = nextReal();
+        } else if (arg == "--fault-corrupt") {
+            opts.config.faults.corruptFirstHitRate = nextReal();
+        } else if (arg == "--retries") {
+            opts.retries = nextNum();
+        } else if (arg == "--point-timeout") {
+            opts.pointTimeout = nextReal();
         } else if (arg == "--stats") {
             opts.stats = true;
         } else if (arg == "--json") {
@@ -119,6 +146,9 @@ parseToolOptions(int argc, char **argv, const char *usage_text)
             usage(usage_text);
         }
     }
+    // Fail fast on unsupportable knob combinations (throws
+    // SimError(Config); the tools' main() catches and reports it).
+    opts.config.validate();
     return opts;
 }
 

@@ -15,6 +15,7 @@
 
 #include "kernels/trace_file.hh"
 #include "options.hh"
+#include "sim/sim_error.hh"
 
 using namespace pva;
 using namespace pva::tools;
@@ -31,8 +32,11 @@ const char *kUsage =
 
 } // anonymous namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runReplay(int argc, char **argv)
 {
     ToolOptions opts = parseToolOptions(argc, argv, kUsage);
 
@@ -62,4 +66,17 @@ main(int argc, char **argv)
     if (opts.json)
         sys->stats().dumpJson(std::cout);
     return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runReplay(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
 }

@@ -7,13 +7,23 @@
  *           [--system pva|cacheline|gathering|sram] [--elements N]
  *           [--banks N] [--interleave N] [--vcs N]
  *           [--row-policy managed|open|close] [--refresh TREFI]
+ *           [--check] [--fault-seed N] [--fault-refresh R]
+ *           [--fault-bc-stall R] [--fault-drop R] [--fault-corrupt R]
+ *           [--retries N] [--point-timeout MS]
  *           [--stats] [--json] [--sweep] [--jobs N]
  *
  * Runs one grid point and prints the cycle count (and optionally the
  * full statistics dump, as text or JSON). With no arguments: copy,
  * stride 19, aligned, on the PVA prototype. With --sweep: runs the
  * full chapter 6 grid (under the configured system knobs) on a worker
- * pool and writes the CSV rows to stdout.
+ * pool and writes the CSV rows to stdout; each point is isolated by
+ * the executor's retry/watchdog harness and the final SweepReport
+ * accounts for every point (printed as JSON to stderr with --json).
+ *
+ * --check attaches the redundant TimingChecker; --fault-* enable
+ * deterministic fault injection (see docs/ROBUSTNESS.md). Structured
+ * simulation errors (SimError) exit with status 1 and a one-line
+ * diagnostic instead of aborting.
  */
 
 #include <cstdio>
@@ -22,6 +32,7 @@
 #include "kernels/runner.hh"
 #include "kernels/sweep_executor.hh"
 #include "options.hh"
+#include "sim/sim_error.hh"
 
 using namespace pva;
 using namespace pva::tools;
@@ -34,42 +45,56 @@ const char *kUsage =
     "               [--system pva|cacheline|gathering|sram]\n"
     "               [--elements N] [--banks N] [--interleave N]\n"
     "               [--vcs N] [--row-policy managed|open|close]\n"
-    "               [--refresh TREFI] [--stats] [--json]\n"
+    "               [--refresh TREFI] [--check]\n"
+    "               [--fault-seed N] [--fault-refresh R]\n"
+    "               [--fault-bc-stall R] [--fault-drop R]\n"
+    "               [--fault-corrupt R] [--retries N]\n"
+    "               [--point-timeout MS] [--stats] [--json]\n"
     "               [--sweep] [--jobs N]\n";
 
 int
 runSweep(const ToolOptions &opts)
 {
     SweepExecutor executor(opts.jobs);
+    executor.setMaxAttempts(opts.retries);
+    executor.setPointTimeout(opts.pointTimeout);
     executor.onProgress([](const SweepProgress &p) {
         if (p.done % 160 == 0 || p.done == p.total)
             inform("sweep: %zu/%zu points done", p.done, p.total);
     });
-    std::vector<SweepPoint> points = executor.run(
+    SweepReport report = executor.runReport(
         SweepExecutor::chapter6Grid(opts.elements, opts.config));
-    writeCsv(std::cout, points);
+    writeCsv(std::cout, report.points);
+    for (const PointFailure &f : report.failures) {
+        warn("sweep point %zu (%s/%s stride %u alignment %u) failed "
+             "after %u attempts: %s",
+             f.index, systemShortName(f.system),
+             kernelSpec(f.kernel).name.c_str(), f.stride, f.alignment,
+             f.attempts, f.error.c_str());
+    }
     if (opts.stats)
         executor.stats().dump(std::cerr);
-    if (opts.json)
+    if (opts.json) {
         executor.stats().dumpJson(std::cerr);
-    return executor.stats().scalar("sweep.mismatches") == 0 ? 0 : 1;
+        report.dumpJson(std::cerr);
+    }
+    bool clean = report.allOk() &&
+                 executor.stats().scalar("sweep.mismatches") == 0;
+    return clean ? 0 : 1;
 }
 
-} // anonymous namespace
-
 int
-main(int argc, char **argv)
+runOnce(const ToolOptions &opts)
 {
-    ToolOptions opts = parseToolOptions(argc, argv, kUsage);
-    if (opts.sweep)
-        return runSweep(opts);
-
     KernelId kernel = kernelFor(opts);
     const KernelSpec &spec = kernelSpec(kernel);
     WorkloadConfig wl = workloadFor(opts);
 
     auto sys = makeSystem(systemKindFor(opts), opts.config);
-    RunResult r = runKernelOn(*sys, kernel, wl);
+    RunLimits limits;
+    if (opts.pointTimeout > 0.0)
+        limits.timeoutMillis = opts.pointTimeout;
+    RunResult r = runKernelOn(*sys, kernel, wl, limits);
     std::printf("%s stride=%u alignment=%s system=%s elements=%u: "
                 "%llu cycles, %zu mismatches\n",
                 spec.name.c_str(), opts.stride,
@@ -82,4 +107,21 @@ main(int argc, char **argv)
     if (opts.json)
         sys->stats().dumpJson(std::cout);
     return r.mismatches == 0 ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        ToolOptions opts = parseToolOptions(argc, argv, kUsage);
+        return opts.sweep ? runSweep(opts) : runOnce(opts);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
 }
