@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Throughput-latency curves under multi-stream open-loop load
+ * (docs/TRAFFIC.md).
+ *
+ * The paper evaluates the PVA on back-to-back kernel traces — a
+ * closed-loop, single-client workload. This bench asks the serving
+ * question instead: as aggregate offered load rises, where does each
+ * memory system saturate and what do the latency tails do on the way?
+ * Four open-loop streams with disjoint regions and a fixed <B,S,L>
+ * distribution (strides 1..8, full 32-element vectors) offer
+ * 2..120 requests per kilocycle in aggregate; the PVA's bank
+ * controllers overlap the streams' row activations across banks, so
+ * it should sustain several times the throughput of the serial
+ * cache-line baseline before its queueing knee.
+ *
+ * The ladder runs on the SweepExecutor pool (--jobs N), one
+ * simulation per (system, load) point, and prints one block per
+ * system plus the achieved-throughput crossover summary. The exact
+ * CSV/JSON artifact comes from `pva_loadgen --load-sweep`.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "traffic/traffic_runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pva;
+
+    LoadSweepConfig sc;
+    for (unsigned i = 0; i < 4; ++i) {
+        StreamConfig s;
+        s.name = csprintf("s%u", i);
+        s.mode = ArrivalMode::OpenLoop;
+        s.requests = 512;
+        s.seed = 1 + i;
+        s.pattern.regionBase =
+            static_cast<WordAddr>(i) * s.pattern.regionWords;
+        sc.base.streams.push_back(std::move(s));
+    }
+    sc.offeredLoads = {2, 5, 10, 20, 40, 60, 80, 120};
+    sc.jobs = benchutil::parseJobs(argc, argv);
+
+    std::vector<LoadPoint> points = runLoadSweep(sc);
+
+    const std::size_t loads = sc.offeredLoads.size();
+    for (std::size_t si = 0; si < sc.systems.size(); ++si) {
+        std::printf("\n== %s: 4 open-loop streams, stride 1-8, "
+                    "32-element vectors ==\n",
+                    systemName(sc.systems[si]));
+        std::printf("%9s %10s %9s | %8s %6s %6s %6s | %9s\n",
+                    "offered", "achieved", "words/cy", "lat.mean",
+                    "p50", "p95", "p99", "inflight");
+        for (std::size_t li = 0; li < loads; ++li) {
+            const LoadPoint &p = points[si * loads + li];
+            if (p.failed) {
+                std::printf("%9g %21s: %s\n", p.offered, "FAILED",
+                            p.error.c_str());
+                continue;
+            }
+            const TrafficResult &r = p.result;
+            std::printf("%9g %10.2f %9.3f | %8.1f %6llu %6llu %6llu "
+                        "| %9.2f\n",
+                        p.offered, r.requestsPerKilocycle,
+                        r.wordsPerCycle, r.totalLatency.mean,
+                        static_cast<unsigned long long>(
+                            r.totalLatency.p50),
+                        static_cast<unsigned long long>(
+                            r.totalLatency.p95),
+                        static_cast<unsigned long long>(
+                            r.totalLatency.p99),
+                        r.meanInFlight);
+        }
+    }
+
+    // Saturation summary: the highest achieved throughput per system.
+    std::printf("\n== saturation (max achieved requests/kilocycle) "
+                "==\n");
+    double pva_peak = 0.0;
+    for (std::size_t si = 0; si < sc.systems.size(); ++si) {
+        double peak = 0.0;
+        for (std::size_t li = 0; li < loads; ++li) {
+            const LoadPoint &p = points[si * loads + li];
+            if (!p.failed && p.result.requestsPerKilocycle > peak)
+                peak = p.result.requestsPerKilocycle;
+        }
+        if (si == 0)
+            pva_peak = peak;
+        std::printf("%-24s %8.2f req/kc%s\n",
+                    systemName(sc.systems[si]), peak,
+                    si == 0 || peak <= 0.0
+                        ? ""
+                        : csprintf("  (pva x%.2f)", pva_peak / peak)
+                              .c_str());
+    }
+    return 0;
+}

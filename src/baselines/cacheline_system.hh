@@ -56,6 +56,7 @@ class CacheLineSystem : public MemorySystem
                    const std::vector<Word> *write_data) override;
     std::vector<Completion> drainCompletions() override;
     bool busy() const override;
+    std::size_t inFlight() const override { return queue.size(); }
     SparseMemory &memory() override { return backing; }
     StatSet &stats() override { return statSet; }
 

@@ -40,6 +40,7 @@ class GatheringSystem : public MemorySystem
                    const std::vector<Word> *write_data) override;
     std::vector<Completion> drainCompletions() override;
     bool busy() const override;
+    std::size_t inFlight() const override { return queue.size(); }
     SparseMemory &memory() override { return backing; }
     StatSet &stats() override { return statSet; }
 

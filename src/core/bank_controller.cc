@@ -531,6 +531,12 @@ BankController::tick(Cycle now)
         // bank-controller response). Returns were still drained; all
         // dequeue/issue work waits for the next cycle.
         ++statStallCycles;
+        statVcOccupancy += vcs.size();
+        if (vcs.size() >= cfg.vectorContexts)
+            ++statVcFullCycles;
+        statFifoOccupancy += fifo.size();
+        if (fifo.size() > statFifoPeak.value())
+            statFifoPeak += fifo.size() - statFifoPeak.value();
         return;
     }
     maybeRecover(now);
@@ -540,6 +546,15 @@ BankController::tick(Cycle now)
         issued = tryReadWrite(now);
     if (issued)
         ++statSchedActiveCycles;
+
+    // Occupancy accounting (end-of-tick state, so a full pipeline
+    // shows vectorContexts, not a transient).
+    statVcOccupancy += vcs.size();
+    if (vcs.size() >= cfg.vectorContexts)
+        ++statVcFullCycles;
+    statFifoOccupancy += fifo.size();
+    if (fifo.size() > statFifoPeak.value())
+        statFifoPeak += fifo.size() - statFifoPeak.value();
 }
 
 bool
@@ -561,6 +576,10 @@ BankController::registerStats(StatSet &set, const std::string &prefix) const
     set.addScalar(prefix + ".recoveries", &statRecoveries);
     set.addScalar(prefix + ".corruptedFirstHits",
                   &statCorruptedFirstHits);
+    set.addScalar(prefix + ".vcOccupancy", &statVcOccupancy);
+    set.addScalar(prefix + ".vcFullCycles", &statVcFullCycles);
+    set.addScalar(prefix + ".fifoOccupancy", &statFifoOccupancy);
+    set.addScalar(prefix + ".fifoPeak", &statFifoPeak);
 }
 
 } // namespace pva

@@ -109,6 +109,15 @@ class BankController : public Component
     /** Nothing queued, scheduled, or in flight. */
     bool idle() const;
 
+    /** Vector Contexts currently holding a request (0..vectorContexts). */
+    unsigned vcsInUse() const { return static_cast<unsigned>(vcs.size()); }
+
+    /** Request FIFO entries currently occupied (0..fifoEntries). */
+    unsigned fifoDepth() const
+    {
+        return static_cast<unsigned>(fifo.size());
+    }
+
     /**
      * Enable fault injection for this BC (scheduler stalls, dropped
      * read returns, corrupted FirstHit results) on stream @p stream.
@@ -130,6 +139,10 @@ class BankController : public Component
     Scalar statDroppedReturns;    ///< Fault-injected lost read words
     Scalar statRecoveries;        ///< Sub-vector re-fetches issued
     Scalar statCorruptedFirstHits; ///< Fault-injected FHP corruptions
+    Scalar statVcOccupancy;       ///< Sum over ticks of occupied VCs
+    Scalar statVcFullCycles;      ///< Ticks with every VC occupied
+    Scalar statFifoOccupancy;     ///< Sum over ticks of RQF entries
+    Scalar statFifoPeak;          ///< Deepest RQF occupancy seen
     /** @} */
 
     void registerStats(StatSet &set, const std::string &prefix) const;

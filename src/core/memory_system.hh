@@ -11,6 +11,7 @@
 #ifndef PVA_CORE_MEMORY_SYSTEM_HH
 #define PVA_CORE_MEMORY_SYSTEM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,13 @@ class MemorySystem : public Component
 
     /** Any transaction still in flight or queued? */
     virtual bool busy() const = 0;
+
+    /**
+     * Transactions currently accepted and not yet completed (queued or
+     * in flight). Used by the traffic layer's occupancy sampling;
+     * systems without a meaningful notion may keep the default 0.
+     */
+    virtual std::size_t inFlight() const { return 0; }
 
     /** Functional backing store (for test setup and verification). */
     virtual SparseMemory &memory() = 0;

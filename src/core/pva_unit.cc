@@ -45,6 +45,8 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
         checker->registerStats(statSet, "checker");
     statSet.addScalar("frontend.reads", &statReads);
     statSet.addScalar("frontend.writes", &statWrites);
+    statSet.addScalar("frontend.ctxOccupancy", &statCtxOccupancy);
+    statSet.addScalar("frontend.ctxFullCycles", &statCtxFullCycles);
     statSet.addDistribution("frontend.readLatency", &statReadLatency);
     statSet.addDistribution("frontend.writeLatency", &statWriteLatency);
     for (unsigned b = 0; b < banks; ++b) {
@@ -235,6 +237,12 @@ PvaUnit::tick(Cycle now)
     // --- 3. Clock the bank controllers (and through them the DRAMs). --
     for (const auto &bc : bcs)
         bc->tick(now);
+
+    // Context-occupancy accounting (end-of-tick in-flight count).
+    std::size_t active = inFlight();
+    statCtxOccupancy += active;
+    if (active >= txns.size())
+        ++statCtxFullCycles;
 }
 
 std::vector<Completion>
@@ -248,11 +256,18 @@ PvaUnit::drainCompletions()
 bool
 PvaUnit::busy() const
 {
+    return inFlight() != 0;
+}
+
+std::size_t
+PvaUnit::inFlight() const
+{
+    std::size_t n = 0;
     for (const Txn &t : txns) {
         if (t.state != TxnState::Free)
-            return true;
+            ++n;
     }
-    return false;
+    return n;
 }
 
 } // namespace pva

@@ -49,6 +49,7 @@ class PvaUnit : public MemorySystem
                    const std::vector<Word> *write_data) override;
     std::vector<Completion> drainCompletions() override;
     bool busy() const override;
+    std::size_t inFlight() const override;
     SparseMemory &memory() override { return backing; }
     StatSet &stats() override { return statSet; }
 
@@ -104,6 +105,8 @@ class PvaUnit : public MemorySystem
     StatSet statSet;
     Scalar statReads;
     Scalar statWrites;
+    Scalar statCtxOccupancy;  ///< Sum over ticks of in-flight txns
+    Scalar statCtxFullCycles; ///< Ticks with no free transaction slot
     Cycle lastTickCycle = 0;
     Distribution statReadLatency{4};  ///< Submit-to-data, 4-cycle buckets
     Distribution statWriteLatency{4}; ///< Submit-to-commit

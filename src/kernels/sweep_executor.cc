@@ -102,11 +102,11 @@ SweepExecutor::setMaxAttempts(unsigned attempts)
     attemptBudget = std::max(1u, attempts);
 }
 
-SweepReport
-SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
+TaskReport
+SweepExecutor::runTasks(std::size_t count, const TaskFn &task,
+                        const TaskDoneFn &observer)
 {
-    SweepReport report;
-    report.points.resize(grid.size());
+    TaskReport report;
     std::atomic<std::size_t> next{0};
     std::mutex lock;
     std::size_t done = 0;
@@ -114,28 +114,17 @@ SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
     auto worker = [&] {
         for (;;) {
             std::size_t i = next.fetch_add(1);
-            if (i >= grid.size())
+            if (i >= count)
                 return;
 
-            SweepRequest req = grid[i];
-            if (pointTimeoutMillis > 0.0 &&
-                req.limits.timeoutMillis <= 0.0) {
-                req.limits.timeoutMillis = pointTimeoutMillis;
-            }
-
             auto t0 = std::chrono::steady_clock::now();
-            SweepPoint p{req.system, req.kernel, req.stride,
-                         req.alignment, 0, 0};
             bool succeeded = false;
             unsigned attempts = 0;
             std::string last_error;
             while (attempts < attemptBudget) {
-                ++attempts;
                 bool retryable = true;
                 try {
-                    // runPoint builds a fresh system, so each attempt
-                    // starts from clean state.
-                    p = runPoint(req);
+                    task(i, attempts);
                     succeeded = true;
                 } catch (const SimError &e) {
                     last_error = e.what();
@@ -146,40 +135,38 @@ SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
                 } catch (const std::exception &e) {
                     last_error = e.what();
                 }
+                ++attempts;
                 if (succeeded || !retryable)
                     break;
-                if (req.config.faults.enabled())
-                    req.config.faults.seed += kRetrySeedStep;
             }
-            p.attempts = attempts;
-            p.status = !succeeded ? PointStatus::Failed
-                       : attempts > 1 ? PointStatus::Retried
-                                      : PointStatus::Ok;
             double millis =
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-            report.points[i] = p;
 
             std::lock_guard<std::mutex> guard(lock);
             ++statPoints;
-            statSimCycles += p.cycles;
-            statMismatches += p.mismatches;
             statRetries += attempts - 1;
             if (!succeeded) {
                 ++statFailures;
-                report.failures.push_back({i, req.system, req.kernel,
-                                           req.stride, req.alignment,
-                                           attempts, last_error});
+                report.failures.push_back({i, attempts, last_error});
             }
             statPointMillis.sample(static_cast<std::uint64_t>(millis));
             ++done;
-            if (progress)
-                progress({done, grid.size(), report.points[i], millis});
+            if (succeeded) {
+                if (attempts > 1)
+                    ++report.retried;
+                else
+                    ++report.ok;
+            } else {
+                ++report.failed;
+            }
+            if (observer)
+                observer({i, attempts, succeeded, millis, done, count});
         }
     };
 
-    std::size_t n = std::min<std::size_t>(workerCount, grid.size());
+    std::size_t n = std::min<std::size_t>(workerCount, count);
     if (n <= 1) {
         worker();
     } else {
@@ -192,24 +179,63 @@ SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
     }
 
     // Failures were appended in completion order; report them in
-    // request order so the report is deterministic across worker
-    // counts.
+    // batch order so the report is deterministic across worker counts.
     std::sort(report.failures.begin(), report.failures.end(),
-              [](const PointFailure &a, const PointFailure &b) {
+              [](const TaskFailure &a, const TaskFailure &b) {
                   return a.index < b.index;
               });
-    for (const SweepPoint &p : report.points) {
-        switch (p.status) {
-          case PointStatus::Ok:
-            ++report.ok;
-            break;
-          case PointStatus::Retried:
-            ++report.retried;
-            break;
-          case PointStatus::Failed:
-            ++report.failed;
-            break;
+    return report;
+}
+
+SweepReport
+SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
+{
+    SweepReport report;
+    report.points.resize(grid.size());
+
+    auto task = [&](std::size_t i, unsigned attempt) {
+        SweepRequest req = grid[i];
+        if (pointTimeoutMillis > 0.0 &&
+            req.limits.timeoutMillis <= 0.0) {
+            req.limits.timeoutMillis = pointTimeoutMillis;
         }
+        // A retry of a fault-injected point must explore a different
+        // fault timeline, not replay the failure.
+        if (attempt > 0 && req.config.faults.enabled())
+            req.config.faults.seed += kRetrySeedStep * attempt;
+        // runPoint builds a fresh system, so each attempt starts from
+        // clean state. Distinct indices write distinct slots, so the
+        // aggregation is race-free and deterministic.
+        report.points[i] = runPoint(req);
+    };
+
+    auto observe = [&](const TaskProgress &tp) {
+        SweepPoint &p = report.points[tp.index];
+        if (!tp.ok) {
+            const SweepRequest &req = grid[tp.index];
+            p = SweepPoint{req.system, req.kernel, req.stride,
+                           req.alignment, 0, 0};
+            p.status = PointStatus::Failed;
+        } else {
+            p.status = tp.attempts > 1 ? PointStatus::Retried
+                                       : PointStatus::Ok;
+        }
+        p.attempts = tp.attempts;
+        statSimCycles += p.cycles;
+        statMismatches += p.mismatches;
+        if (progress)
+            progress({tp.done, tp.total, p, tp.millis});
+    };
+
+    TaskReport tasks = runTasks(grid.size(), task, observe);
+    report.ok = tasks.ok;
+    report.retried = tasks.retried;
+    report.failed = tasks.failed;
+    for (const TaskFailure &f : tasks.failures) {
+        const SweepRequest &req = grid[f.index];
+        report.failures.push_back({f.index, req.system, req.kernel,
+                                   req.stride, req.alignment,
+                                   f.attempts, f.error});
     }
     return report;
 }

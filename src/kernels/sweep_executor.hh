@@ -42,6 +42,37 @@
 namespace pva
 {
 
+/** One generic task that exhausted its attempt budget. */
+struct TaskFailure
+{
+    std::size_t index = 0;  ///< Position in the task batch
+    unsigned attempts = 0;  ///< Attempts consumed before giving up
+    std::string error;      ///< what() of the last attempt's exception
+};
+
+/** Outcome of a runTasks() batch: every task accounted for. */
+struct TaskReport
+{
+    std::size_t ok = 0;      ///< Succeeded on the first attempt
+    std::size_t retried = 0; ///< Succeeded after at least one retry
+    std::size_t failed = 0;  ///< Exhausted the attempt budget
+    std::vector<TaskFailure> failures; ///< In batch (index) order
+
+    bool allOk() const { return failed == 0; }
+};
+
+/** Per-task completion snapshot passed to runTasks() observers
+ *  (serialized under the executor's lock, in completion order). */
+struct TaskProgress
+{
+    std::size_t index = 0;  ///< Which task finished
+    unsigned attempts = 0;  ///< Attempts it consumed
+    bool ok = false;        ///< Did any attempt succeed?
+    double millis = 0.0;    ///< Wall-clock time across its attempts
+    std::size_t done = 0;   ///< Tasks completed so far (this one incl.)
+    std::size_t total = 0;  ///< Tasks in the batch
+};
+
 /** Snapshot passed to the progress callback after each point. */
 struct SweepProgress
 {
@@ -114,6 +145,29 @@ class SweepExecutor
      * worker count.
      */
     SweepReport runReport(const std::vector<SweepRequest> &grid);
+
+    /** A generic unit of work: @p index identifies the task, @p
+     *  attempt counts retries from 0. Failure is an exception. */
+    using TaskFn = std::function<void(std::size_t index,
+                                      unsigned attempt)>;
+
+    /** Completion observer; called under the executor's lock, at most
+     *  one call at a time, in completion order. */
+    using TaskDoneFn = std::function<void(const TaskProgress &)>;
+
+    /**
+     * The generic engine underneath runReport(): run @p count
+     * independent tasks on the worker pool with the executor's
+     * retry/fault-isolation policy. A task reports results by side
+     * effect into caller-owned, index-addressed storage, which keeps
+     * aggregate output deterministic across worker counts. A thrown
+     * SimError(Watchdog) is not retried (a hung task hangs
+     * deterministically); any other exception consumes one attempt.
+     * Used directly by harnesses whose work items are not kernel grid
+     * points — e.g. the traffic layer's offered-load sweeps.
+     */
+    TaskReport runTasks(std::size_t count, const TaskFn &task,
+                        const TaskDoneFn &observer = nullptr);
 
     /**
      * Run every request; returns one SweepPoint per request, in

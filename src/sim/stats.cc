@@ -52,6 +52,112 @@ Distribution::mean() const
         : static_cast<double>(sum) / static_cast<double>(sampleCount);
 }
 
+unsigned
+LogHistogram::bucketIndex(std::uint64_t value)
+{
+    constexpr std::uint64_t linear = 1ULL << kSubBits;
+    if (value < linear)
+        return static_cast<unsigned>(value);
+    unsigned msb = 63;
+    while (!(value & (1ULL << msb)))
+        --msb;
+    unsigned shift = msb - kSubBits;
+    unsigned sub =
+        static_cast<unsigned>((value >> shift) & (linear - 1));
+    return ((msb - kSubBits + 1) << kSubBits) | sub;
+}
+
+std::uint64_t
+LogHistogram::bucketLowerBound(unsigned index)
+{
+    constexpr std::uint64_t linear = 1ULL << kSubBits;
+    if (index < linear)
+        return index;
+    unsigned top = index >> kSubBits;
+    std::uint64_t sub = index & (linear - 1);
+    return (1ULL << (kSubBits + top - 1)) | (sub << (top - 1));
+}
+
+void
+LogHistogram::sample(std::uint64_t value)
+{
+    if (counts.empty())
+        counts.assign(kBucketCount, 0);
+    if (sampleCount == 0) {
+        minSeen = value;
+        maxSeen = value;
+    } else {
+        if (value < minSeen)
+            minSeen = value;
+        if (value > maxSeen)
+            maxSeen = value;
+    }
+    ++sampleCount;
+    sum += value;
+    ++counts[bucketIndex(value)];
+}
+
+void
+LogHistogram::reset()
+{
+    sampleCount = 0;
+    sum = 0;
+    minSeen = 0;
+    maxSeen = 0;
+    counts.clear();
+}
+
+double
+LogHistogram::mean() const
+{
+    return sampleCount == 0
+        ? 0.0
+        : static_cast<double>(sum) / static_cast<double>(sampleCount);
+}
+
+std::uint64_t
+LogHistogram::percentile(double p) const
+{
+    if (sampleCount == 0)
+        return 0;
+    if (p <= 0.0)
+        return minSeen;
+    // The rank of the sample the percentile asks for (1-based,
+    // ceiling), clamped to the population.
+    auto rank = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(sampleCount) + 0.9999999);
+    if (rank > sampleCount)
+        rank = sampleCount;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+        seen += counts[i];
+        if (seen >= rank) {
+            // Report the bucket's inclusive upper edge (conservative
+            // for latency SLOs), clamped to the observed range.
+            std::uint64_t hi = i + 1 < kBucketCount
+                ? bucketLowerBound(i + 1) - 1
+                : maxSeen;
+            if (hi > maxSeen)
+                hi = maxSeen;
+            if (hi < minSeen)
+                hi = minSeen;
+            return hi;
+        }
+    }
+    return maxSeen;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+LogHistogram::nonZeroBuckets() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (unsigned i = 0; i < counts.size(); ++i) {
+        if (counts[i])
+            out.emplace_back(bucketLowerBound(i), counts[i]);
+    }
+    return out;
+}
+
 void
 StatSet::addScalar(const std::string &name, const Scalar *stat)
 {
@@ -64,6 +170,13 @@ StatSet::addDistribution(const std::string &name, const Distribution *stat)
 {
     if (!distributions.emplace(name, stat).second)
         panic("duplicate distribution stat '%s'", name.c_str());
+}
+
+void
+StatSet::addHistogram(const std::string &name, const LogHistogram *stat)
+{
+    if (!histograms.emplace(name, stat).second)
+        panic("duplicate histogram stat '%s'", name.c_str());
 }
 
 std::uint64_t
@@ -96,6 +209,21 @@ StatSet::hasDistribution(const std::string &name) const
     return distributions.find(name) != distributions.end();
 }
 
+const LogHistogram &
+StatSet::histogram(const std::string &name) const
+{
+    auto it = histograms.find(name);
+    if (it == histograms.end())
+        panic("no histogram stat named '%s'", name.c_str());
+    return *it->second;
+}
+
+bool
+StatSet::hasHistogram(const std::string &name) const
+{
+    return histograms.find(name) != histograms.end();
+}
+
 void
 StatSet::dump(std::ostream &os) const
 {
@@ -106,6 +234,16 @@ StatSet::dump(std::ostream &os) const
         os << name << ".min " << stat->minValue() << "\n";
         os << name << ".max " << stat->maxValue() << "\n";
         os << name << ".mean " << stat->mean() << "\n";
+    }
+    for (const auto &[name, stat] : histograms) {
+        os << name << ".samples " << stat->samples() << "\n";
+        os << name << ".min " << stat->minValue() << "\n";
+        os << name << ".max " << stat->maxValue() << "\n";
+        os << name << ".mean " << stat->mean() << "\n";
+        os << name << ".p50 " << stat->p50() << "\n";
+        os << name << ".p95 " << stat->p95() << "\n";
+        os << name << ".p99 " << stat->p99() << "\n";
+        os << name << ".p999 " << stat->p999() << "\n";
     }
 }
 
@@ -143,6 +281,20 @@ StatSet::dumpJson(std::ostream &os) const
             first_bucket = false;
         }
         os << "]}";
+        first = false;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, stat] : histograms) {
+        os << (first ? "" : ", ") << '"' << name << "\": {"
+           << "\"samples\": " << stat->samples()
+           << ", \"min\": " << stat->minValue()
+           << ", \"max\": " << stat->maxValue()
+           << ", \"mean\": " << stat->mean()
+           << ", \"p50\": " << stat->p50()
+           << ", \"p95\": " << stat->p95()
+           << ", \"p99\": " << stat->p99()
+           << ", \"p999\": " << stat->p999() << "}";
         first = false;
     }
     os << "}}\n";

@@ -1,0 +1,184 @@
+#include "traffic/arbiter.hh"
+
+namespace pva
+{
+
+const char *
+arbPolicyName(ArbPolicy policy)
+{
+    switch (policy) {
+      case ArbPolicy::Fifo:
+        return "fifo";
+      case ArbPolicy::RoundRobin:
+        return "rr";
+      case ArbPolicy::Priority:
+        return "priority";
+    }
+    return "?";
+}
+
+bool
+parseArbPolicy(const std::string &name, ArbPolicy &out)
+{
+    if (name == "fifo") {
+        out = ArbPolicy::Fifo;
+    } else if (name == "rr" || name == "roundrobin") {
+        out = ArbPolicy::RoundRobin;
+    } else if (name == "priority") {
+        out = ArbPolicy::Priority;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+StreamArbiter::StreamArbiter(const ArbiterConfig &config,
+                             std::vector<StreamSource> sources_,
+                             ServiceStats &stats_)
+    : cfg(config), sources(std::move(sources_)), stats(stats_),
+      queues(sources.size())
+{
+    if (!sources.empty())
+        lastGranted = static_cast<unsigned>(sources.size()) - 1;
+}
+
+void
+StreamArbiter::applyPokes(SparseMemory &mem) const
+{
+    for (const StreamSource &s : sources)
+        s.applyPokes(mem);
+}
+
+bool
+StreamArbiter::pick(Cycle now, unsigned &out) const
+{
+    const unsigned n = static_cast<unsigned>(sources.size());
+    bool found = false;
+
+    switch (cfg.policy) {
+      case ArbPolicy::RoundRobin: {
+        for (unsigned step = 1; step <= n; ++step) {
+            unsigned i = (lastGranted + step) % n;
+            if (!queues[i].empty()) {
+                out = i;
+                return true;
+            }
+        }
+        return false;
+      }
+      case ArbPolicy::Fifo: {
+        Cycle best = kNeverCycle;
+        for (unsigned i = 0; i < n; ++i) {
+            if (queues[i].empty())
+                continue;
+            Cycle a = queues[i].front().arrival;
+            if (!found || a < best) {
+                best = a;
+                out = i;
+                found = true;
+            }
+        }
+        return found;
+      }
+      case ArbPolicy::Priority: {
+        // Starvation guard first: any head past the aging threshold
+        // is served strictly oldest-first, whatever its priority.
+        Cycle best = kNeverCycle;
+        for (unsigned i = 0; i < n; ++i) {
+            if (queues[i].empty())
+                continue;
+            Cycle a = queues[i].front().arrival;
+            if (now - a >= cfg.agingThreshold && (!found || a < best)) {
+                best = a;
+                out = i;
+                found = true;
+            }
+        }
+        if (found)
+            return true;
+        // Otherwise highest priority; ties broken oldest-first, then
+        // by stream id (the iteration order).
+        unsigned best_prio = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            if (queues[i].empty())
+                continue;
+            Cycle a = queues[i].front().arrival;
+            unsigned prio = sources[i].config().priority;
+            if (!found || prio > best_prio ||
+                (prio == best_prio && a < best)) {
+                best_prio = prio;
+                best = a;
+                out = i;
+                found = true;
+            }
+        }
+        return found;
+      }
+    }
+    return false;
+}
+
+bool
+StreamArbiter::service(MemorySystem &sys, Cycle now)
+{
+    // --- 1. Completions. ---------------------------------------------
+    for (Completion &c : sys.drainCompletions()) {
+        auto it = inFlight.find(c.tag);
+        if (it == inFlight.end())
+            continue; // not ours (defensive; tags are arbiter-issued)
+        const InFlight &f = it->second;
+        stats.onComplete(f.stream, now - f.submitted, now - f.arrival,
+                         f.words, f.isRead);
+        sources[f.stream].onComplete();
+        inFlight.erase(it);
+    }
+
+    // --- 2. Admission: pull arrivals into the bounded queues. --------
+    for (unsigned i = 0; i < sources.size(); ++i) {
+        StreamSource &src = sources[i];
+        bool deferred = false;
+        while (src.arrivalReady(now)) {
+            if (queues[i].size() >=
+                src.config().queueCapacity) {
+                // Backpressure: the arrival stays pending in the
+                // source; open-loop requests keep their scheduled
+                // arrival stamp so the wait is visible as queue delay.
+                deferred = true;
+                break;
+            }
+            queues[i].push_back(src.emit(now));
+            stats.onArrival(i);
+            stats.onQueueDepth(i, queues[i].size());
+        }
+        if (deferred)
+            stats.onDeferred(i);
+    }
+
+    // --- 3. Grant: submit queue heads until the system refuses. ------
+    unsigned chosen = 0;
+    while (pick(now, chosen)) {
+        TrafficRequest &req = queues[chosen].front();
+        std::uint64_t tag = nextTag;
+        const std::vector<Word> *wd =
+            req.cmd.isRead ? nullptr : &req.writeData;
+        if (!sys.trySubmit(req.cmd, tag, wd))
+            break; // transaction resources exhausted this cycle
+        ++nextTag;
+        inFlight.emplace(
+            tag, InFlight{chosen, req.arrival, now, req.cmd.length,
+                          req.cmd.isRead});
+        stats.onSubmit(chosen, now - req.arrival);
+        queues[chosen].pop_front();
+        lastGranted = chosen;
+    }
+
+    // --- 4. Occupancy sample (end-of-step in-flight count). ----------
+    stats.onCycle(sys.inFlight());
+
+    bool drained = inFlight.empty();
+    for (unsigned i = 0; drained && i < sources.size(); ++i)
+        drained = sources[i].exhausted() && queues[i].empty();
+    return drained;
+}
+
+} // namespace pva

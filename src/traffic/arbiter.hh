@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The StreamArbiter: admission control and multiplexing of N traffic
+ * streams onto one memory system's limited transaction resources.
+ *
+ * Each stream owns a bounded queue. Every service cycle the arbiter
+ *
+ *  1. drains completions, crediting service/total latency to the
+ *     owning stream and releasing closed-loop window slots;
+ *  2. admits pending arrivals into the per-stream queues — a full
+ *     queue defers the arrival (backpressure, counted per deferred
+ *     cycle; open-loop requests keep their scheduled arrival stamp, so
+ *     deferral shows up as queueing delay, not lost load);
+ *  3. submits queue heads to MemorySystem::trySubmit under the
+ *     configured policy until the system refuses (its Vector Contexts
+ *     / transaction slots are full).
+ *
+ * Policies:
+ *  - Fifo: globally oldest arrival first (ties: lowest stream id).
+ *  - RoundRobin: rotate a grant cursor over non-empty queues.
+ *  - Priority: highest StreamConfig::priority first — but any head
+ *    request that has waited longer than agingThreshold cycles is
+ *    served oldest-first regardless of priority, which bounds every
+ *    stream's wait (starvation-freedom).
+ *
+ * All decisions are pure functions of (config, stream seeds, cycle),
+ * so a traffic run is bit-reproducible anywhere, including under the
+ * SweepExecutor worker pool.
+ */
+
+#ifndef PVA_TRAFFIC_ARBITER_HH
+#define PVA_TRAFFIC_ARBITER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/memory_system.hh"
+#include "traffic/service_stats.hh"
+#include "traffic/stream.hh"
+
+namespace pva
+{
+
+/** Stream-multiplexing policies. */
+enum class ArbPolicy
+{
+    Fifo,
+    RoundRobin,
+    Priority,
+};
+
+/** Short lowercase identifier ("fifo", "rr", "priority"). */
+const char *arbPolicyName(ArbPolicy policy);
+
+/** Parse an identifier; returns false on unknown names. */
+bool parseArbPolicy(const std::string &name, ArbPolicy &out);
+
+/** Arbitration knobs. */
+struct ArbiterConfig
+{
+    ArbPolicy policy = ArbPolicy::Fifo;
+    /** Priority policy: a head request older than this many cycles is
+     *  served FIFO ahead of any fresher higher-priority work. */
+    Cycle agingThreshold = 1024;
+};
+
+/** Multiplexes stream sources onto one MemorySystem. */
+class StreamArbiter
+{
+  public:
+    /** Takes ownership of @p sources; @p stats must outlive the
+     *  arbiter and have one stream slot per source. */
+    StreamArbiter(const ArbiterConfig &config,
+                  std::vector<StreamSource> sources,
+                  ServiceStats &stats);
+
+    /**
+     * One service step at cycle @p now (call once per simulated
+     * cycle, before the system's tick if driven manually, or from a
+     * Simulation::runUntil predicate).
+     *
+     * @return true when every stream is exhausted, every queue is
+     *         empty, and no request is in flight.
+     */
+    bool service(MemorySystem &sys, Cycle now);
+
+    /** Apply all trace-stream pokes to the system's memory. */
+    void applyPokes(SparseMemory &mem) const;
+
+    std::size_t streamCount() const { return sources.size(); }
+    const StreamSource &source(unsigned i) const { return sources[i]; }
+    std::size_t queueDepth(unsigned i) const
+    {
+        return queues[i].size();
+    }
+
+  private:
+    /** Pick the next stream to grant; returns false if all empty. */
+    bool pick(Cycle now, unsigned &out) const;
+
+    struct InFlight
+    {
+        unsigned stream = 0;
+        Cycle arrival = 0;
+        Cycle submitted = 0;
+        std::uint32_t words = 0;
+        bool isRead = true;
+    };
+
+    ArbiterConfig cfg;
+    std::vector<StreamSource> sources;
+    ServiceStats &stats;
+    std::vector<std::deque<TrafficRequest>> queues;
+    std::unordered_map<std::uint64_t, InFlight> inFlight;
+    std::uint64_t nextTag = 0;
+    unsigned lastGranted = 0; ///< RoundRobin cursor
+};
+
+} // namespace pva
+
+#endif // PVA_TRAFFIC_ARBITER_HH

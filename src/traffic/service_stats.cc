@@ -1,0 +1,185 @@
+#include "traffic/service_stats.hh"
+
+namespace pva
+{
+
+LatencySummary
+summarize(const LogHistogram &h)
+{
+    LatencySummary s;
+    s.samples = h.samples();
+    s.min = h.minValue();
+    s.max = h.maxValue();
+    s.mean = h.mean();
+    s.p50 = h.p50();
+    s.p95 = h.p95();
+    s.p99 = h.p99();
+    s.p999 = h.p999();
+    return s;
+}
+
+ServiceStats::ServiceStats(const std::vector<std::string> &names)
+{
+    auto registerOne = [&](const std::string &prefix,
+                           StreamCounters &c) {
+        statSet.addScalar(prefix + ".arrivals", &c.arrivals);
+        statSet.addScalar(prefix + ".submitted", &c.submitted);
+        statSet.addScalar(prefix + ".completed", &c.completed);
+        statSet.addScalar(prefix + ".deferrals", &c.deferrals);
+        statSet.addScalar(prefix + ".queuePeak", &c.queuePeak);
+        statSet.addScalar(prefix + ".wordsRead", &c.wordsRead);
+        statSet.addScalar(prefix + ".wordsWritten", &c.wordsWritten);
+        statSet.addHistogram(prefix + ".queueDelay", &c.queueDelay);
+        statSet.addHistogram(prefix + ".serviceLatency",
+                             &c.serviceLatency);
+        statSet.addHistogram(prefix + ".totalLatency", &c.totalLatency);
+    };
+
+    perStream.reserve(names.size());
+    for (const std::string &name : names) {
+        perStream.push_back(std::make_unique<StreamCounters>());
+        registerOne(name, *perStream.back());
+    }
+    registerOne("agg", aggregate);
+    statSet.addScalar("agg.cycles", &statCycles);
+    statSet.addScalar("agg.occupancySum", &statOccupancySum);
+}
+
+void
+ServiceStats::onArrival(unsigned stream)
+{
+    ++perStream[stream]->arrivals;
+    ++aggregate.arrivals;
+}
+
+void
+ServiceStats::onDeferred(unsigned stream)
+{
+    ++perStream[stream]->deferrals;
+    ++aggregate.deferrals;
+}
+
+void
+ServiceStats::onQueueDepth(unsigned stream, std::size_t depth)
+{
+    StreamCounters &c = *perStream[stream];
+    if (depth > c.queuePeak.value())
+        c.queuePeak += depth - c.queuePeak.value();
+    if (depth > aggregate.queuePeak.value())
+        aggregate.queuePeak += depth - aggregate.queuePeak.value();
+}
+
+void
+ServiceStats::onSubmit(unsigned stream, Cycle queue_delay)
+{
+    StreamCounters &c = *perStream[stream];
+    ++c.submitted;
+    c.queueDelay.sample(queue_delay);
+    ++aggregate.submitted;
+    aggregate.queueDelay.sample(queue_delay);
+}
+
+void
+ServiceStats::onComplete(unsigned stream, Cycle service_latency,
+                         Cycle total_latency, std::uint32_t words,
+                         bool is_read)
+{
+    StreamCounters &c = *perStream[stream];
+    ++c.completed;
+    c.serviceLatency.sample(service_latency);
+    c.totalLatency.sample(total_latency);
+    ++aggregate.completed;
+    aggregate.serviceLatency.sample(service_latency);
+    aggregate.totalLatency.sample(total_latency);
+    if (is_read) {
+        c.wordsRead += words;
+        aggregate.wordsRead += words;
+    } else {
+        c.wordsWritten += words;
+        aggregate.wordsWritten += words;
+    }
+}
+
+void
+ServiceStats::onCycle(std::size_t in_flight)
+{
+    ++statCycles;
+    statOccupancySum += in_flight;
+}
+
+std::uint64_t
+ServiceStats::completed(unsigned stream) const
+{
+    return perStream[stream]->completed.value();
+}
+
+std::uint64_t
+ServiceStats::completedTotal() const
+{
+    return aggregate.completed.value();
+}
+
+std::uint64_t
+ServiceStats::wordsTotal() const
+{
+    return aggregate.wordsRead.value() + aggregate.wordsWritten.value();
+}
+
+std::uint64_t
+ServiceStats::deferrals(unsigned stream) const
+{
+    return perStream[stream]->deferrals.value();
+}
+
+std::uint64_t
+ServiceStats::queuePeak(unsigned stream) const
+{
+    return perStream[stream]->queuePeak.value();
+}
+
+LatencySummary
+ServiceStats::queueDelay(unsigned stream) const
+{
+    return summarize(perStream[stream]->queueDelay);
+}
+
+LatencySummary
+ServiceStats::serviceLatency(unsigned stream) const
+{
+    return summarize(perStream[stream]->serviceLatency);
+}
+
+LatencySummary
+ServiceStats::totalLatency(unsigned stream) const
+{
+    return summarize(perStream[stream]->totalLatency);
+}
+
+LatencySummary
+ServiceStats::aggregateQueueDelay() const
+{
+    return summarize(aggregate.queueDelay);
+}
+
+LatencySummary
+ServiceStats::aggregateServiceLatency() const
+{
+    return summarize(aggregate.serviceLatency);
+}
+
+LatencySummary
+ServiceStats::aggregateTotalLatency() const
+{
+    return summarize(aggregate.totalLatency);
+}
+
+double
+ServiceStats::meanInFlight() const
+{
+    return statCycles.value() == 0
+        ? 0.0
+        : static_cast<double>(statOccupancySum.value()) /
+              static_cast<double>(statCycles.value());
+}
+
+} // namespace pva

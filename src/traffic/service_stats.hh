@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Service-level metrics for the traffic subsystem, built on sim/stats.
+ *
+ * ServiceStats owns, per stream and in aggregate, the counters a
+ * serving stack would report: arrivals, admissions, completions,
+ * backpressure deferrals, queue-depth peaks, words moved, and three
+ * log-scale latency histograms with percentile queries —
+ *
+ *   queueDelay      arrival -> submit (admission + arbitration wait)
+ *   serviceLatency  submit -> completion (the memory system itself)
+ *   totalLatency    arrival -> completion (what a client observes)
+ *
+ * — plus per-cycle samples of the memory system's in-flight
+ * transaction count (Vector Context occupancy on the PVA). Everything
+ * registers into one StatSet ("s<i>.*" per stream, "agg.*" aggregate),
+ * so text/JSON dumps come for free and tests can assert on named
+ * values.
+ */
+
+#ifndef PVA_TRAFFIC_SERVICE_STATS_HH
+#define PVA_TRAFFIC_SERVICE_STATS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace pva
+{
+
+/** A latency histogram reduced to the reporting quartet. */
+struct LatencySummary
+{
+    std::uint64_t samples = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+};
+
+LatencySummary summarize(const LogHistogram &h);
+
+/** Per-stream and aggregate service accounting. */
+class ServiceStats
+{
+  public:
+    /** @param names one display name per stream (used as stat prefix). */
+    explicit ServiceStats(const std::vector<std::string> &names);
+
+    /** @name Event hooks (called by the StreamArbiter) @{ */
+    void onArrival(unsigned stream);
+    void onDeferred(unsigned stream);       ///< Backpressure: queue full
+    void onQueueDepth(unsigned stream, std::size_t depth);
+    void onSubmit(unsigned stream, Cycle queue_delay);
+    void onComplete(unsigned stream, Cycle service_latency,
+                    Cycle total_latency, std::uint32_t words,
+                    bool is_read);
+    void onCycle(std::size_t in_flight); ///< Context-occupancy sample
+    /** @} */
+
+    std::size_t streams() const { return perStream.size(); }
+
+    /** The registered stat registry (for dump/dumpJson/queries). */
+    StatSet &set() { return statSet; }
+    const StatSet &set() const { return statSet; }
+
+    /** @name Convenience queries @{ */
+    std::uint64_t completed(unsigned stream) const;
+    std::uint64_t completedTotal() const;
+    std::uint64_t wordsTotal() const;
+    std::uint64_t deferrals(unsigned stream) const;
+    std::uint64_t queuePeak(unsigned stream) const;
+    LatencySummary queueDelay(unsigned stream) const;
+    LatencySummary serviceLatency(unsigned stream) const;
+    LatencySummary totalLatency(unsigned stream) const;
+    LatencySummary aggregateQueueDelay() const;
+    LatencySummary aggregateServiceLatency() const;
+    LatencySummary aggregateTotalLatency() const;
+    /** Mean in-flight transactions over the sampled cycles. */
+    double meanInFlight() const;
+    /** @} */
+
+  private:
+    struct StreamCounters
+    {
+        Scalar arrivals;
+        Scalar submitted;
+        Scalar completed;
+        Scalar deferrals;
+        Scalar queuePeak;
+        Scalar wordsRead;
+        Scalar wordsWritten;
+        LogHistogram queueDelay;
+        LogHistogram serviceLatency;
+        LogHistogram totalLatency;
+    };
+
+    StatSet statSet;
+    /** unique_ptr keeps registered stat addresses stable. */
+    std::vector<std::unique_ptr<StreamCounters>> perStream;
+    StreamCounters aggregate;
+    Scalar statCycles;          ///< Occupancy samples taken
+    Scalar statOccupancySum;    ///< Sum of sampled in-flight counts
+};
+
+} // namespace pva
+
+#endif // PVA_TRAFFIC_SERVICE_STATS_HH

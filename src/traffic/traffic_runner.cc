@@ -1,0 +1,263 @@
+#include "traffic/traffic_runner.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "sim/simulation.hh"
+
+namespace pva
+{
+
+namespace
+{
+
+/** Fault-seed advance per retry attempt (matches SweepExecutor). */
+constexpr std::uint64_t kRetrySeedStep = 0x9e3779b97f4a7c15ULL;
+
+void
+jsonSummary(std::ostream &os, const char *key, const LatencySummary &s)
+{
+    os << '"' << key << "\": {\"samples\": " << s.samples
+       << ", \"min\": " << s.min << ", \"max\": " << s.max
+       << ", \"mean\": " << s.mean << ", \"p50\": " << s.p50
+       << ", \"p95\": " << s.p95 << ", \"p99\": " << s.p99
+       << ", \"p999\": " << s.p999 << "}";
+}
+
+} // anonymous namespace
+
+void
+TrafficResult::dumpJson(std::ostream &os) const
+{
+    os << "{\"cycles\": " << cycles << ", \"completed\": " << completed
+       << ", \"words\": " << words
+       << ", \"requestsPerKilocycle\": " << requestsPerKilocycle
+       << ", \"wordsPerCycle\": " << wordsPerCycle
+       << ", \"meanInFlight\": " << meanInFlight
+       << ", \"bcUtilization\": " << bcUtilization << ", ";
+    jsonSummary(os, "queueDelay", queueDelay);
+    os << ", ";
+    jsonSummary(os, "serviceLatency", serviceLatency);
+    os << ", ";
+    jsonSummary(os, "totalLatency", totalLatency);
+    os << ", \"streams\": [";
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        const StreamResult &s = streams[i];
+        os << (i ? ", " : "") << "{\"name\": \"" << s.name
+           << "\", \"requests\": " << s.requests
+           << ", \"completed\": " << s.completed
+           << ", \"deferrals\": " << s.deferrals
+           << ", \"queuePeak\": " << s.queuePeak
+           << ", \"words\": " << s.words << ", ";
+        jsonSummary(os, "queueDelay", s.queueDelay);
+        os << ", ";
+        jsonSummary(os, "serviceLatency", s.serviceLatency);
+        os << ", ";
+        jsonSummary(os, "totalLatency", s.totalLatency);
+        os << "}";
+    }
+    os << "]}";
+}
+
+TrafficResult
+runTraffic(const TrafficConfig &config, std::ostream *stats_dump)
+{
+    if (config.streams.empty()) {
+        throw SimError(SimErrorKind::Config, "traffic", kNeverCycle,
+                       "at least one stream is required");
+    }
+
+    // Build the sources first (they validate their own config) and
+    // reject duplicate display names, which would collide in the
+    // ServiceStats registry.
+    std::vector<StreamSource> sources;
+    std::vector<std::string> names;
+    std::set<std::string> seen;
+    sources.reserve(config.streams.size());
+    for (unsigned i = 0; i < config.streams.size(); ++i) {
+        sources.emplace_back(config.streams[i], i,
+                             config.config.bc.lineWords);
+        const std::string &name = sources.back().name();
+        if (!seen.insert(name).second) {
+            throw SimError(SimErrorKind::Config, "traffic", kNeverCycle,
+                           csprintf("duplicate stream name '%s'",
+                                    name.c_str()));
+        }
+        names.push_back(name);
+    }
+
+    auto sys = makeSystem(config.system, config.config);
+    ServiceStats stats(names);
+    StreamArbiter arbiter(config.arbiter, std::move(sources), stats);
+    arbiter.applyPokes(sys->memory());
+
+    Simulation sim;
+    sim.add(sys.get());
+    sim.runUntil([&] { return arbiter.service(*sys, sim.now()); },
+                 config.limits.maxCycles, config.limits.timeoutMillis);
+
+    TrafficResult r;
+    r.cycles = sim.now();
+    r.completed = stats.completedTotal();
+    r.words = stats.wordsTotal();
+    if (r.cycles > 0) {
+        r.requestsPerKilocycle = static_cast<double>(r.completed) *
+                                 1000.0 /
+                                 static_cast<double>(r.cycles);
+        r.wordsPerCycle = static_cast<double>(r.words) /
+                          static_cast<double>(r.cycles);
+    }
+    r.meanInFlight = stats.meanInFlight();
+    r.queueDelay = stats.aggregateQueueDelay();
+    r.serviceLatency = stats.aggregateServiceLatency();
+    r.totalLatency = stats.aggregateTotalLatency();
+
+    // Bank-controller utilization via the occupancy counters the PVA
+    // systems register (bc<i>.schedActiveCycles); baselines have no
+    // bank controllers and report 0.
+    const StatSet &sys_stats = sys->stats();
+    unsigned banks = config.config.geometry.banks();
+    if (r.cycles > 0 && banks > 0 &&
+        sys_stats.hasScalar("bc0.schedActiveCycles")) {
+        double active = 0.0;
+        for (unsigned b = 0; b < banks; ++b) {
+            active += static_cast<double>(sys_stats.scalar(
+                csprintf("bc%u.schedActiveCycles", b)));
+        }
+        r.bcUtilization = active / (static_cast<double>(banks) *
+                                    static_cast<double>(r.cycles));
+    }
+
+    r.streams.reserve(names.size());
+    for (unsigned i = 0; i < names.size(); ++i) {
+        StreamResult s;
+        s.name = names[i];
+        s.requests = arbiter.source(i).emitted();
+        s.completed = stats.completed(i);
+        s.deferrals = stats.deferrals(i);
+        s.queuePeak = stats.queuePeak(i);
+        s.words = stats.set().scalar(names[i] + ".wordsRead") +
+                  stats.set().scalar(names[i] + ".wordsWritten");
+        s.queueDelay = stats.queueDelay(i);
+        s.serviceLatency = stats.serviceLatency(i);
+        s.totalLatency = stats.totalLatency(i);
+        r.streams.push_back(std::move(s));
+    }
+    if (stats_dump) {
+        stats.set().dump(*stats_dump);
+        sys_stats.dump(*stats_dump);
+    }
+    return r;
+}
+
+std::vector<LoadPoint>
+runLoadSweep(const LoadSweepConfig &config)
+{
+    if (config.base.streams.empty()) {
+        throw SimError(SimErrorKind::Config, "traffic", kNeverCycle,
+                       "load sweep needs at least one stream");
+    }
+    if (config.offeredLoads.empty()) {
+        throw SimError(SimErrorKind::Config, "traffic", kNeverCycle,
+                       "load sweep needs at least one offered load");
+    }
+
+    // Ascending loads make each curve monotone in offered load.
+    std::vector<double> loads = config.offeredLoads;
+    std::sort(loads.begin(), loads.end());
+
+    std::vector<LoadPoint> points;
+    points.resize(config.systems.size() * loads.size());
+    for (std::size_t si = 0; si < config.systems.size(); ++si) {
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            LoadPoint &p = points[si * loads.size() + li];
+            p.system = config.systems[si];
+            p.offered = loads[li];
+        }
+    }
+
+    SweepExecutor executor(config.jobs);
+    executor.setMaxAttempts(config.retries);
+
+    auto task = [&](std::size_t i, unsigned attempt) {
+        LoadPoint &p = points[i];
+        TrafficConfig tc = config.base;
+        tc.system = p.system;
+        double per_stream =
+            p.offered / static_cast<double>(tc.streams.size());
+        for (StreamConfig &s : tc.streams) {
+            s.mode = ArrivalMode::OpenLoop;
+            s.requestsPerKilocycle = per_stream;
+        }
+        // A retry of a fault-injected point explores a different
+        // fault timeline rather than replaying the failure.
+        if (attempt > 0 && tc.config.faults.enabled())
+            tc.config.faults.seed += kRetrySeedStep * attempt;
+        p.result = runTraffic(tc);
+    };
+
+    auto observe = [&](const TaskProgress &tp) {
+        points[tp.index].attempts = tp.attempts;
+    };
+
+    TaskReport report = executor.runTasks(points.size(), task, observe);
+    for (const TaskFailure &f : report.failures) {
+        LoadPoint &p = points[f.index];
+        p.failed = true;
+        p.error = f.error;
+        p.result = TrafficResult{};
+    }
+    return points;
+}
+
+void
+writeLoadCsvHeader(std::ostream &os)
+{
+    os << "system,offered_per_kc,achieved_per_kc,words_per_cycle,"
+          "lat_mean,lat_p50,lat_p95,lat_p99,lat_p999,"
+          "queue_mean,mean_in_flight,bc_utilization,completed,cycles,"
+          "status\n";
+}
+
+void
+writeLoadCsvRow(std::ostream &os, const LoadPoint &point)
+{
+    const TrafficResult &r = point.result;
+    os << systemShortName(point.system) << ',' << point.offered << ','
+       << r.requestsPerKilocycle << ',' << r.wordsPerCycle << ','
+       << r.totalLatency.mean << ',' << r.totalLatency.p50 << ','
+       << r.totalLatency.p95 << ',' << r.totalLatency.p99 << ','
+       << r.totalLatency.p999 << ',' << r.queueDelay.mean << ','
+       << r.meanInFlight << ',' << r.bcUtilization << ','
+       << r.completed << ',' << r.cycles << ','
+       << (point.failed ? "failed" : "ok") << '\n';
+}
+
+void
+writeLoadCsv(std::ostream &os, const std::vector<LoadPoint> &points)
+{
+    writeLoadCsvHeader(os);
+    for (const LoadPoint &p : points)
+        writeLoadCsvRow(os, p);
+}
+
+void
+writeLoadJson(std::ostream &os, const std::vector<LoadPoint> &points)
+{
+    os << "{\"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const LoadPoint &p = points[i];
+        os << (i ? ",\n  " : "\n  ") << "{\"system\": \""
+           << systemShortName(p.system)
+           << "\", \"offered\": " << p.offered << ", \"failed\": "
+           << (p.failed ? "true" : "false") << ", \"result\": ";
+        p.result.dumpJson(os);
+        os << "}";
+    }
+    os << (points.empty() ? "]}\n" : "\n]}\n");
+}
+
+} // namespace pva

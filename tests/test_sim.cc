@@ -100,7 +100,8 @@ TEST(Stats, StatSetDumpsJson)
               "{\"scalars\": {\"a.first\": 7, \"z.second\": 9}, "
               "\"distributions\": {\"lat\": {\"samples\": 3, "
               "\"min\": 5, \"max\": 15, \"mean\": 11.6667, "
-              "\"bucketWidth\": 10, \"buckets\": [1, 2]}}}\n");
+              "\"bucketWidth\": 10, \"buckets\": [1, 2]}}, "
+              "\"histograms\": {}}\n");
 }
 
 TEST(Stats, EmptyStatSetDumpsEmptyJson)
@@ -109,7 +110,8 @@ TEST(Stats, EmptyStatSetDumpsEmptyJson)
     std::ostringstream os;
     set.dumpJson(os);
     EXPECT_EQ(os.str(),
-              "{\"scalars\": {}, \"distributions\": {}}\n");
+              "{\"scalars\": {}, \"distributions\": {}, "
+              "\"histograms\": {}}\n");
 }
 
 TEST(StatsDeath, DuplicateNamePanics)

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * pva_loadgen — multi-stream traffic driver (docs/TRAFFIC.md).
+ *
+ * Usage:
+ *   pva_loadgen [--streams N] [--policy fifo|rr|priority] [--aging N]
+ *               [--mode closed|open] [--window N] [--rate R]
+ *               [--requests N] [--seed S] [--queue-cap N]
+ *               [--priority-ramp] [--read-frac F]
+ *               [--min-stride N] [--max-stride N]
+ *               [--min-length N] [--max-length N] [--region-words N]
+ *               [--indirect] [--trace FILE]
+ *               [--system pva|cacheline|gathering|sram]
+ *               [--banks N] [--interleave N] [--vcs N] [--check]
+ *               [--fault-seed N] [--fault-refresh R]
+ *               [--fault-bc-stall R] [--fault-drop R]
+ *               [--fault-corrupt R]
+ *               [--load-sweep] [--loads A,B,C] [--systems a,b,c]
+ *               [--jobs N] [--retries N] [--max-cycles N]
+ *               [--point-timeout MS] [--stats] [--json] [--csv]
+ *
+ * Default: one traffic run (closed-loop, 4 streams, FIFO arbitration)
+ * on the selected system; prints a human-readable service summary, or
+ * the full per-stream JSON with --json, or the whole registered stat
+ * set with --stats.
+ *
+ * With --load-sweep: forces every stream open-loop and runs the
+ * offered-load ladder (--loads, aggregate requests per kilocycle)
+ * across the systems of --systems on the SweepExecutor worker pool,
+ * emitting the throughput-latency curves as CSV to stdout (or JSON
+ * with --json). Points are deterministic for a given seed regardless
+ * of --jobs; failed points survive as status=failed rows.
+ *
+ * Stream i gets seed (--seed + i) and, with --priority-ramp,
+ * priority i (stream N-1 most urgent) for exercising the priority
+ * policy's starvation guard.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "traffic/traffic_runner.hh"
+
+using namespace pva;
+
+namespace
+{
+
+const char *kUsage =
+    "usage: pva_loadgen [--streams N] [--policy fifo|rr|priority]\n"
+    "                   [--aging N] [--mode closed|open] [--window N]\n"
+    "                   [--rate R] [--requests N] [--seed S]\n"
+    "                   [--queue-cap N] [--priority-ramp]\n"
+    "                   [--read-frac F] [--min-stride N]\n"
+    "                   [--max-stride N] [--min-length N]\n"
+    "                   [--max-length N] [--region-words N]\n"
+    "                   [--indirect] [--trace FILE]\n"
+    "                   [--system pva|cacheline|gathering|sram]\n"
+    "                   [--banks N] [--interleave N] [--vcs N]\n"
+    "                   [--check] [--fault-seed N] [--fault-refresh R]\n"
+    "                   [--fault-bc-stall R] [--fault-drop R]\n"
+    "                   [--fault-corrupt R] [--load-sweep]\n"
+    "                   [--loads A,B,C] [--systems a,b,c] [--jobs N]\n"
+    "                   [--retries N] [--max-cycles N]\n"
+    "                   [--point-timeout MS] [--stats] [--json]\n"
+    "                   [--csv]\n";
+
+[[noreturn]] void
+usage()
+{
+    std::fputs(kUsage, stderr);
+    std::exit(2);
+}
+
+/** Everything one pva_loadgen invocation configures. */
+struct LoadgenOptions
+{
+    unsigned streams = 4;
+    std::string policy = "fifo";
+    Cycle aging = 1024;
+    std::string mode = "closed";
+    unsigned window = 4;
+    double rate = 10.0;          ///< Per-stream open-loop rate
+    std::uint64_t requests = 256;
+    std::uint64_t seed = 1;
+    unsigned queueCap = 16;
+    bool priorityRamp = false;
+    std::string tracePath;
+    PatternConfig pattern;
+    std::string system = "pva";
+    std::string systems = "pva,cacheline,gathering";
+    bool loadSweep = false;
+    std::string loads = "2,5,10,20,40,80";
+    unsigned jobs = 0;
+    unsigned retries = 3;
+    Cycle maxCycles = 50000000;
+    double pointTimeout = 0.0;
+    bool stats = false;
+    bool json = false;
+    bool csv = false;
+    SystemConfig config{};
+};
+
+SystemKind
+kindFor(const std::string &name)
+{
+    for (SystemKind kind : allSystems()) {
+        if (name == systemShortName(kind))
+            return kind;
+    }
+    fatal("unknown system '%s' (try: pva cacheline gathering sram)",
+          name.c_str());
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > start)
+            out.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+LoadgenOptions
+parseOptions(int argc, char **argv)
+{
+    LoadgenOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        auto nextNum = [&]() -> unsigned long long {
+            std::string value = next();
+            char *end = nullptr;
+            unsigned long long n =
+                std::strtoull(value.c_str(), &end, 10);
+            if (value.empty() || *end != '\0')
+                fatal("%s expects a number, got '%s'", arg.c_str(),
+                      value.c_str());
+            return n;
+        };
+        auto nextReal = [&]() -> double {
+            std::string value = next();
+            char *end = nullptr;
+            double d = std::strtod(value.c_str(), &end);
+            if (value.empty() || *end != '\0')
+                fatal("%s expects a number, got '%s'", arg.c_str(),
+                      value.c_str());
+            return d;
+        };
+        if (arg == "--streams") {
+            opts.streams = nextNum();
+        } else if (arg == "--policy") {
+            opts.policy = next();
+        } else if (arg == "--aging") {
+            opts.aging = nextNum();
+        } else if (arg == "--mode") {
+            opts.mode = next();
+        } else if (arg == "--window") {
+            opts.window = nextNum();
+        } else if (arg == "--rate") {
+            opts.rate = nextReal();
+        } else if (arg == "--requests") {
+            opts.requests = nextNum();
+        } else if (arg == "--seed") {
+            opts.seed = nextNum();
+        } else if (arg == "--queue-cap") {
+            opts.queueCap = nextNum();
+        } else if (arg == "--priority-ramp") {
+            opts.priorityRamp = true;
+        } else if (arg == "--read-frac") {
+            opts.pattern.readFraction = nextReal();
+        } else if (arg == "--min-stride") {
+            opts.pattern.minStride = nextNum();
+        } else if (arg == "--max-stride") {
+            opts.pattern.maxStride = nextNum();
+        } else if (arg == "--min-length") {
+            opts.pattern.minLength = nextNum();
+        } else if (arg == "--max-length") {
+            opts.pattern.maxLength = nextNum();
+        } else if (arg == "--region-words") {
+            opts.pattern.regionWords = nextNum();
+        } else if (arg == "--indirect") {
+            opts.pattern.mode = VectorCommand::Mode::Indirect;
+        } else if (arg == "--trace") {
+            opts.tracePath = next();
+        } else if (arg == "--system") {
+            opts.system = next();
+        } else if (arg == "--systems") {
+            opts.systems = next();
+        } else if (arg == "--load-sweep") {
+            opts.loadSweep = true;
+        } else if (arg == "--loads") {
+            opts.loads = next();
+        } else if (arg == "--jobs") {
+            opts.jobs = nextNum();
+        } else if (arg == "--retries") {
+            opts.retries = nextNum();
+        } else if (arg == "--max-cycles") {
+            opts.maxCycles = nextNum();
+        } else if (arg == "--point-timeout") {
+            opts.pointTimeout = nextReal();
+        } else if (arg == "--banks") {
+            opts.config.geometry =
+                Geometry(nextNum(), opts.config.geometry.interleave());
+        } else if (arg == "--interleave") {
+            opts.config.geometry =
+                Geometry(opts.config.geometry.banks(), nextNum());
+        } else if (arg == "--vcs") {
+            opts.config.bc.vectorContexts = nextNum();
+        } else if (arg == "--check") {
+            opts.config.timingCheck = true;
+        } else if (arg == "--fault-seed") {
+            opts.config.faults.seed = nextNum();
+        } else if (arg == "--fault-refresh") {
+            opts.config.faults.refreshStallRate = nextReal();
+        } else if (arg == "--fault-bc-stall") {
+            opts.config.faults.bcStallRate = nextReal();
+        } else if (arg == "--fault-drop") {
+            opts.config.faults.dropTransferRate = nextReal();
+        } else if (arg == "--fault-corrupt") {
+            opts.config.faults.corruptFirstHitRate = nextReal();
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else {
+            usage();
+        }
+    }
+    opts.config.validate();
+    return opts;
+}
+
+TrafficConfig
+trafficConfigFor(const LoadgenOptions &opts)
+{
+    TrafficConfig tc;
+    tc.system = kindFor(opts.system);
+    tc.config = opts.config;
+    if (!parseArbPolicy(opts.policy, tc.arbiter.policy))
+        fatal("unknown policy '%s' (try: fifo rr priority)",
+              opts.policy.c_str());
+    tc.arbiter.agingThreshold = opts.aging;
+    tc.limits.maxCycles = opts.maxCycles;
+    tc.limits.timeoutMillis = opts.pointTimeout;
+
+    ArrivalMode mode;
+    if (opts.mode == "closed")
+        mode = ArrivalMode::ClosedLoop;
+    else if (opts.mode == "open")
+        mode = ArrivalMode::OpenLoop;
+    else
+        fatal("unknown mode '%s' (try: closed open)",
+              opts.mode.c_str());
+    if (!opts.tracePath.empty())
+        mode = ArrivalMode::Trace;
+
+    for (unsigned i = 0; i < opts.streams; ++i) {
+        StreamConfig s;
+        s.mode = mode;
+        s.window = opts.window;
+        s.requestsPerKilocycle = opts.rate;
+        s.requests = opts.requests;
+        s.priority = opts.priorityRamp ? i : 0;
+        s.queueCapacity = opts.queueCap;
+        s.seed = opts.seed + i;
+        s.pattern = opts.pattern;
+        // Disjoint regions keep the streams from aliasing each other.
+        s.pattern.regionBase =
+            opts.pattern.regionBase + i * opts.pattern.regionWords;
+        s.tracePath = opts.tracePath;
+        tc.streams.push_back(std::move(s));
+    }
+    return tc;
+}
+
+int
+runSweep(const LoadgenOptions &opts)
+{
+    LoadSweepConfig sc;
+    sc.base = trafficConfigFor(opts);
+    for (const std::string &l : splitCommas(opts.loads))
+        sc.offeredLoads.push_back(std::strtod(l.c_str(), nullptr));
+    sc.systems.clear();
+    for (const std::string &s : splitCommas(opts.systems))
+        sc.systems.push_back(kindFor(s));
+    sc.jobs = opts.jobs;
+    sc.retries = opts.retries;
+
+    std::vector<LoadPoint> points = runLoadSweep(sc);
+    if (opts.json)
+        writeLoadJson(std::cout, points);
+    else
+        writeLoadCsv(std::cout, points);
+
+    bool clean = true;
+    for (const LoadPoint &p : points) {
+        if (p.failed) {
+            warn("load point %s @ %g req/kc failed after %u "
+                 "attempts: %s",
+                 systemShortName(p.system), p.offered, p.attempts,
+                 p.error.c_str());
+            clean = false;
+        }
+    }
+    return clean ? 0 : 1;
+}
+
+int
+runOnce(const LoadgenOptions &opts)
+{
+    TrafficConfig tc = trafficConfigFor(opts);
+    TrafficResult r =
+        runTraffic(tc, opts.stats ? &std::cerr : nullptr);
+
+    if (opts.json) {
+        r.dumpJson(std::cout);
+        std::cout << '\n';
+        return 0;
+    }
+    if (opts.csv) {
+        LoadPoint p;
+        p.system = tc.system;
+        p.offered = opts.rate * opts.streams;
+        p.result = r;
+        writeLoadCsvHeader(std::cout);
+        writeLoadCsvRow(std::cout, p);
+        return 0;
+    }
+
+    std::printf("system=%s policy=%s streams=%zu: %llu requests "
+                "(%llu words) in %llu cycles\n",
+                systemShortName(tc.system),
+                arbPolicyName(tc.arbiter.policy), tc.streams.size(),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.words),
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("  throughput %.3f req/kcycle, %.3f words/cycle, "
+                "mean in-flight %.2f, bc utilization %.1f%%\n",
+                r.requestsPerKilocycle, r.wordsPerCycle,
+                r.meanInFlight, 100.0 * r.bcUtilization);
+    auto line = [](const char *name, const LatencySummary &s) {
+        std::printf("  %-8s mean %8.1f  p50 %6llu  p95 %6llu  "
+                    "p99 %6llu  p999 %6llu  max %6llu\n",
+                    name, s.mean,
+                    static_cast<unsigned long long>(s.p50),
+                    static_cast<unsigned long long>(s.p95),
+                    static_cast<unsigned long long>(s.p99),
+                    static_cast<unsigned long long>(s.p999),
+                    static_cast<unsigned long long>(s.max));
+    };
+    line("queue", r.queueDelay);
+    line("service", r.serviceLatency);
+    line("total", r.totalLatency);
+    for (const StreamResult &s : r.streams) {
+        std::printf("  %s: %llu/%llu done, deferrals %llu, "
+                    "queue peak %llu, total p99 %llu\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.completed),
+                    static_cast<unsigned long long>(s.requests),
+                    static_cast<unsigned long long>(s.deferrals),
+                    static_cast<unsigned long long>(s.queuePeak),
+                    static_cast<unsigned long long>(
+                        s.totalLatency.p99));
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        LoadgenOptions opts = parseOptions(argc, argv);
+        return opts.loadSweep ? runSweep(opts) : runOnce(opts);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}
