@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Wall-clock benchmark of the wake-scheduled simulation core
+ * (docs/SIMULATION.md): the same workloads run under
+ * ClockingMode::Exhaustive and ClockingMode::Event, results are
+ * checked for cycle-exact agreement, and the wall-time ratio is
+ * reported. Two scenarios bracket the design space:
+ *
+ *  - the stride-16 kernel sweep (power-of-two worst case: serialized
+ *    bank traffic, long quiescent stretches on the idle controllers);
+ *  - low-load open-loop traffic (the latency-measurement regime of
+ *    docs/TRAFFIC.md, where the machine is idle almost always and the
+ *    event core skips nearly every cycle).
+ *
+ * Usage: bench_event_clocking [--out FILE]
+ *
+ * Prints a human-readable summary to stdout and writes the JSON
+ * record (the committed BENCH_EVENT_CLOCKING.json format) to FILE
+ * when --out is given.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hh"
+#include "traffic/traffic_runner.hh"
+
+using namespace pva;
+
+namespace
+{
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct Scenario
+{
+    const char *name = "";
+    double exhaustiveMillis = 0.0;
+    double eventMillis = 0.0;
+    Cycle cycles = 0;                ///< Simulated cycles (both modes)
+    std::uint64_t simTicks = 0;      ///< Event mode: cycles processed
+    std::uint64_t cyclesSkipped = 0; ///< Event mode: cycles jumped
+
+    double speedup() const
+    {
+        return eventMillis > 0.0 ? exhaustiveMillis / eventMillis
+                                 : 0.0;
+    }
+};
+
+/** All kernels at stride 16, serial, one mode; returns total cycles. */
+std::uint64_t
+runStride16Sweep(ClockingMode mode, double &millis,
+                 std::uint64_t &ticks, std::uint64_t &skipped)
+{
+    std::vector<SweepRequest> grid;
+    for (KernelId k : allKernels()) {
+        SweepRequest req;
+        req.kernel = k;
+        req.stride = 16;
+        req.elements = 4096;
+        req.config.clocking = mode;
+        grid.push_back(req);
+    }
+    SweepExecutor executor(1); // serial: wall time measures the core
+    auto t0 = std::chrono::steady_clock::now();
+    SweepReport report = executor.runReport(grid);
+    millis = millisSince(t0);
+    ticks = report.simTicks;
+    skipped = report.cyclesSkipped;
+    std::uint64_t cycles = 0;
+    for (const SweepPoint &p : report.points)
+        cycles += p.cycles;
+    return cycles;
+}
+
+/** Low-load open-loop traffic, one mode. */
+std::uint64_t
+runLowLoadTraffic(ClockingMode mode, double &millis,
+                  std::uint64_t &ticks, std::uint64_t &skipped)
+{
+    TrafficConfig tc;
+    tc.config.clocking = mode;
+    for (unsigned i = 0; i < 2; ++i) {
+        StreamConfig s;
+        s.mode = ArrivalMode::OpenLoop;
+        s.requestsPerKilocycle = 0.05; // one request per 20k cycles
+        s.requests = 300;
+        s.seed = 1 + i;
+        s.pattern.regionBase = i * (1 << 20);
+        tc.streams.push_back(std::move(s));
+    }
+    tc.limits.maxCycles = 100000000;
+    auto t0 = std::chrono::steady_clock::now();
+    TrafficResult r = runTraffic(tc);
+    millis = millisSince(t0);
+    ticks = r.simTicks;
+    skipped = r.cyclesSkipped;
+    return r.cycles;
+}
+
+Scenario
+measure(const char *name,
+        std::uint64_t (*run)(ClockingMode, double &, std::uint64_t &,
+                             std::uint64_t &))
+{
+    Scenario s;
+    s.name = name;
+    std::uint64_t ex_ticks = 0, ex_skipped = 0;
+    std::uint64_t ex_cycles =
+        run(ClockingMode::Exhaustive, s.exhaustiveMillis, ex_ticks,
+            ex_skipped);
+    std::uint64_t ev_cycles = run(ClockingMode::Event, s.eventMillis,
+                                  s.simTicks, s.cyclesSkipped);
+    s.cycles = ex_cycles;
+    if (ex_cycles != ev_cycles) {
+        std::fprintf(stderr,
+                     "FATAL: %s diverged: exhaustive %llu cycles, "
+                     "event %llu cycles\n",
+                     name,
+                     static_cast<unsigned long long>(ex_cycles),
+                     static_cast<unsigned long long>(ev_cycles));
+        std::exit(1);
+    }
+    return s;
+}
+
+void
+jsonScenario(std::ostream &os, const Scenario &s)
+{
+    os << "  \"" << s.name << "\": {\n"
+       << "    \"exhaustiveMillis\": " << s.exhaustiveMillis << ",\n"
+       << "    \"eventMillis\": " << s.eventMillis << ",\n"
+       << "    \"speedup\": " << s.speedup() << ",\n"
+       << "    \"cycles\": " << s.cycles << ",\n"
+       << "    \"simTicks\": " << s.simTicks << ",\n"
+       << "    \"cyclesSkipped\": " << s.cyclesSkipped << "\n"
+       << "  }";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+    Scenario sweep = measure("stride16Sweep", runStride16Sweep);
+    Scenario traffic = measure("openLoopTraffic", runLowLoadTraffic);
+
+    for (const Scenario *s : {&sweep, &traffic}) {
+        std::printf("%-16s exhaustive %8.1f ms, event %8.1f ms, "
+                    "speedup %5.1fx  (%llu cycles, %llu processed, "
+                    "%llu skipped)\n",
+                    s->name, s->exhaustiveMillis, s->eventMillis,
+                    s->speedup(),
+                    static_cast<unsigned long long>(s->cycles),
+                    static_cast<unsigned long long>(s->simTicks),
+                    static_cast<unsigned long long>(s->cyclesSkipped));
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << "{\n";
+        jsonScenario(out, sweep);
+        out << ",\n";
+        jsonScenario(out, traffic);
+        out << "\n}\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    // The acceptance bar: the idle-heavy scenario must be at least
+    // 3x faster under event clocking.
+    if (traffic.speedup() < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: open-loop traffic speedup %.2fx < 3x\n",
+                     traffic.speedup());
+        return 1;
+    }
+    return 0;
+}

@@ -15,6 +15,7 @@ CacheLineSystem::CacheLineSystem(std::string name,
 {
     statSet.addScalar("commands", &statCommands);
     statSet.addScalar("lineFills", &statLineFills);
+    registerSimStats(statSet);
 }
 
 unsigned
@@ -80,6 +81,7 @@ CacheLineSystem::finish(Job &job)
 void
 CacheLineSystem::tick(Cycle now)
 {
+    tickActivity = false;
     if (queue.empty())
         return;
     Job &head = queue.front();
@@ -89,13 +91,28 @@ CacheLineSystem::tick(Cycle now)
         head.finishAt = now + static_cast<Cycle>(lines) *
                                   cfg.cyclesPerLine();
         head.started = true;
+        tickActivity = true;
     }
     if (now >= head.finishAt) {
         finish(head);
         queue.pop_front();
+        tickActivity = true;
         // The next command starts on the following tick; the serial
         // controller processes one command at a time.
     }
+}
+
+Cycle
+CacheLineSystem::nextWakeAfter(Cycle now) const
+{
+    if (tickActivity)
+        return now + 1;
+    if (queue.empty())
+        return kNeverCycle;
+    const Job &head = queue.front();
+    if (!head.started || head.finishAt <= now)
+        return now + 1;
+    return head.finishAt;
 }
 
 std::vector<Completion>

@@ -62,6 +62,9 @@ class CacheLineSystem : public MemorySystem
 
     void tick(Cycle now) override;
 
+    /** Wake contract: the head job's finishAt, or quiescent. */
+    Cycle nextWakeAfter(Cycle now) const override;
+
     /** Distinct cache lines touched by @p cmd (the baseline's cost
      *  driver). */
     static unsigned distinctLines(const VectorCommand &cmd,
@@ -90,6 +93,7 @@ class CacheLineSystem : public MemorySystem
     std::deque<Job> queue;
     std::vector<Completion> completions;
     StatSet statSet;
+    bool tickActivity = false; ///< Did the last tick change state?
 };
 
 } // namespace pva

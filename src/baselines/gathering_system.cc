@@ -12,6 +12,7 @@ GatheringSystem::GatheringSystem(std::string name,
 {
     statSet.addScalar("commands", &statCommands);
     statSet.addScalar("elements", &statElements);
+    registerSimStats(statSet);
 }
 
 bool
@@ -54,6 +55,7 @@ GatheringSystem::finish(Job &job)
 void
 GatheringSystem::tick(Cycle now)
 {
+    tickActivity = false;
     if (queue.empty())
         return;
     Job &head = queue.front();
@@ -61,11 +63,26 @@ GatheringSystem::tick(Cycle now)
         head.finishAt = now + commandCycles(head.cmd);
         statElements += head.cmd.length;
         head.started = true;
+        tickActivity = true;
     }
     if (now >= head.finishAt) {
         finish(head);
         queue.pop_front();
+        tickActivity = true;
     }
+}
+
+Cycle
+GatheringSystem::nextWakeAfter(Cycle now) const
+{
+    if (tickActivity)
+        return now + 1;
+    if (queue.empty())
+        return kNeverCycle;
+    const Job &head = queue.front();
+    if (!head.started || head.finishAt <= now)
+        return now + 1;
+    return head.finishAt;
 }
 
 std::vector<Completion>

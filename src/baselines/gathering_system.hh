@@ -46,6 +46,9 @@ class GatheringSystem : public MemorySystem
 
     void tick(Cycle now) override;
 
+    /** Wake contract: the head job's finishAt, or quiescent. */
+    Cycle nextWakeAfter(Cycle now) const override;
+
     /**
      * Cycles one command occupies the serial pipeline: precharge + RAS
      * + CAS once per command, then one address cycle per element on the
@@ -81,6 +84,7 @@ class GatheringSystem : public MemorySystem
     std::deque<Job> queue;
     std::vector<Completion> completions;
     StatSet statSet;
+    bool tickActivity = false; ///< Did the last tick change state?
 };
 
 } // namespace pva

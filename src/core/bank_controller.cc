@@ -242,6 +242,7 @@ BankController::drainDeviceReturns(Cycle now)
 {
     ReadReturn r;
     while (dev.popReady(now, r)) {
+        tickActivity = true;
         if (injector && injector->dropTransfer()) {
             // Fault injection: the word is lost between the device
             // pins and the staging unit. maybeRecover() re-fetches it
@@ -304,6 +305,7 @@ BankController::maybeRecover(Cycle now)
         if (vc.explicitAddrs.empty())
             continue;
         ++statRecoveries;
+        tickActivity = true;
         vcs.push_back(std::move(vc));
         (void)now;
     }
@@ -319,6 +321,7 @@ BankController::dequeueIntoVc(Cycle now)
     if (lastDequeue != kNeverCycle && lastDequeue == now)
         return; // one dequeue per cycle
     lastDequeue = now;
+    tickActivity = true;
 
     Request req = std::move(fifo.front());
     fifo.pop_front();
@@ -524,6 +527,7 @@ BankController::tryReadWrite(Cycle now)
 void
 BankController::tick(Cycle now)
 {
+    tickActivity = false;
     dev.tick(now); // apply auto-refresh before scheduling decisions
     drainDeviceReturns(now);
     if (injector && injector->bcStall()) {
@@ -544,8 +548,10 @@ BankController::tick(Cycle now)
     bool issued = tryActivatePrecharge(now);
     if (!issued)
         issued = tryReadWrite(now);
-    if (issued)
+    if (issued) {
         ++statSchedActiveCycles;
+        tickActivity = true;
+    }
 
     // Occupancy accounting (end-of-tick state, so a full pipeline
     // shows vectorContexts, not a transient).
@@ -561,6 +567,37 @@ bool
 BankController::idle() const
 {
     return fifo.empty() && vcs.empty() && dev.quiescent();
+}
+
+Cycle
+BankController::nextWakeAfter(Cycle now) const
+{
+    if (injector)
+        return now + 1; // keep the fault RNG stream tick-indexed
+    if (tickActivity)
+        return now + 1;
+    if (idle())
+        return kNeverCycle;
+    Cycle wake = dev.nextTimingEventAfter(now);
+    if (!fifo.empty()) {
+        Cycle v = fifo.front().visibleAt;
+        Cycle c = v > now ? v : now + 1;
+        if (c < wake)
+            wake = c;
+    }
+    // Pending work always has a device timer or FIFO visibility cycle
+    // behind it; if the scoreboard reports none, fall back to stepping
+    // (correct, merely slower).
+    return wake == kNeverCycle ? now + 1 : wake;
+}
+
+void
+BankController::accountGap(Cycle gap)
+{
+    statVcOccupancy += vcs.size() * gap;
+    if (vcs.size() >= cfg.vectorContexts)
+        statVcFullCycles += gap;
+    statFifoOccupancy += fifo.size() * gap;
 }
 
 void

@@ -106,6 +106,24 @@ class BankController : public Component
 
     void tick(Cycle now) override;
 
+    /**
+     * Wake contract (sim/component.hh): next cycle this BC could act.
+     * Any tick that did work answers now + 1; an idle-but-pending BC
+     * answers the earliest device timing event or FIFO visibility
+     * cycle; a fully idle BC answers kNeverCycle. Fault injection
+     * draws from its RNG stream once per tick, so an attached injector
+     * pins the BC to every-cycle ticking to keep the stream
+     * tick-indexed (and fault timelines identical across modes).
+     */
+    Cycle nextWakeAfter(Cycle now) const override;
+
+    /**
+     * Credit the end-of-tick occupancy stats for @p gap cycles skipped
+     * by event clocking (queue state was frozen over the span). Called
+     * by the owning PvaUnit before anything mutates this cycle.
+     */
+    void accountGap(Cycle gap);
+
     /** Nothing queued, scheduled, or in flight. */
     bool idle() const;
 
@@ -268,6 +286,7 @@ class BankController : public Component
 
     Cycle fhcBusyUntil = 0; ///< FHC pipeline occupancy
     Cycle lastDequeue = kNeverCycle;
+    bool tickActivity = false; ///< Did the last tick change state?
 
     bool lastDirRead = true; ///< SDRAM data bus polarity
     bool anyDirYet = false;

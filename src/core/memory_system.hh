@@ -65,6 +65,35 @@ class MemorySystem : public Component
 
     /** Registered statistics of this system. */
     virtual StatSet &stats() = 0;
+
+    /**
+     * Copy the driving Simulation's clocking counters into this
+     * system's StatSet (sim.simTicks / sim.cyclesSkipped /
+     * sim.cyclesPerSecond) so they survive the Simulation, which is
+     * local to the run harness, and appear in every stats dump.
+     */
+    void
+    recordSimPerf(std::uint64_t ticks, std::uint64_t skipped,
+                  std::uint64_t cycles_per_second)
+    {
+        statSimTicks.set(ticks);
+        statSimCyclesSkipped.set(skipped);
+        statSimCyclesPerSecond.set(cycles_per_second);
+    }
+
+  protected:
+    /** Concrete systems call this from their constructor. */
+    void
+    registerSimStats(StatSet &set)
+    {
+        set.addScalar("sim.simTicks", &statSimTicks);
+        set.addScalar("sim.cyclesSkipped", &statSimCyclesSkipped);
+        set.addScalar("sim.cyclesPerSecond", &statSimCyclesPerSecond);
+    }
+
+    Scalar statSimTicks;
+    Scalar statSimCyclesSkipped;
+    Scalar statSimCyclesPerSecond;
 };
 
 } // namespace pva

@@ -49,6 +49,7 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
     statSet.addScalar("frontend.ctxFullCycles", &statCtxFullCycles);
     statSet.addDistribution("frontend.readLatency", &statReadLatency);
     statSet.addDistribution("frontend.writeLatency", &statWriteLatency);
+    registerSimStats(statSet);
     for (unsigned b = 0; b < banks; ++b) {
         bcs[b]->registerStats(statSet, csprintf("bc%u", b));
         if (!cfg.useSram) {
@@ -147,6 +148,7 @@ void
 PvaUnit::tick(Cycle now)
 {
     lastTickCycle = now;
+    tickActivity = false;
 
     // --- 1. Untimed/timed state transitions (observing BC state as of
     //        the end of the previous cycle). ---------------------------
@@ -154,20 +156,28 @@ PvaUnit::tick(Cycle now)
         Txn &t = txns[id];
         switch (t.state) {
           case TxnState::Gathering:
-            if (allBcsComplete(id))
+            if (allBcsComplete(id)) {
                 t.state = TxnState::StagePending;
+                tickActivity = true;
+            }
             break;
           case TxnState::Staging:
-            if (now >= t.readyAt)
+            if (now >= t.readyAt) {
                 finishRead(id, now);
+                tickActivity = true;
+            }
             break;
           case TxnState::WriteData:
-            if (now >= t.readyAt)
+            if (now >= t.readyAt) {
                 t.state = TxnState::VecWritePending;
+                tickActivity = true;
+            }
             break;
           case TxnState::Scattering:
-            if (allBcsComplete(id))
+            if (allBcsComplete(id)) {
                 finishWrite(id, now);
+                tickActivity = true;
+            }
             break;
           default:
             break;
@@ -191,6 +201,7 @@ PvaUnit::tick(Cycle now)
                                   chosen});
             txns[chosen].state = TxnState::Staging;
             txns[chosen].readyAt = now + vectorBus.dataCycles();
+            tickActivity = true;
         } else {
             // Priority 2: broadcast VEC_WRITE for writes whose data
             // cycles have finished.
@@ -209,6 +220,7 @@ PvaUnit::tick(Cycle now)
                 for (const auto &bc : bcs)
                     bc->observeVecCommand(now, t.cmd);
                 t.state = TxnState::Scattering;
+                tickActivity = true;
             } else if (!submitOrder.empty()) {
                 // Priority 3: start the oldest queued command.
                 std::uint8_t id = submitOrder.front();
@@ -221,6 +233,7 @@ PvaUnit::tick(Cycle now)
                     for (const auto &bc : bcs)
                         bc->observeVecCommand(now, t.cmd);
                     t.state = TxnState::Gathering;
+                    tickActivity = true;
                 } else if (t.state == TxnState::QueuedWrite) {
                     submitOrder.pop_front();
                     vectorBus.drive(now,
@@ -229,6 +242,7 @@ PvaUnit::tick(Cycle now)
                         bc->loadWriteLine(id, t.writeData);
                     t.state = TxnState::WriteData;
                     t.readyAt = now + vectorBus.dataCycles();
+                    tickActivity = true;
                 }
             }
         }
@@ -243,6 +257,60 @@ PvaUnit::tick(Cycle now)
     statCtxOccupancy += active;
     if (active >= txns.size())
         ++statCtxFullCycles;
+    lastProcessedTick = now;
+    tickedYet = true;
+}
+
+void
+PvaUnit::onCycleBegin(Cycle now)
+{
+    // Event clocking skipped (now - lastProcessedTick - 1) cycles with
+    // all queues frozen; credit the per-cycle occupancy stats before
+    // anything (trySubmit, observeVecCommand) mutates this cycle.
+    if (tickedYet && now > lastProcessedTick + 1) {
+        Cycle gap = now - lastProcessedTick - 1;
+        std::size_t active = inFlight();
+        statCtxOccupancy += active * gap;
+        if (active >= txns.size())
+            statCtxFullCycles += gap;
+        for (const auto &bc : bcs)
+            bc->accountGap(gap);
+    }
+    // trySubmit stamps acceptedAt with the last *ticked* cycle, which
+    // under the exhaustive stepper is always now - 1 at this point.
+    lastTickCycle = now == 0 ? 0 : now - 1;
+}
+
+Cycle
+PvaUnit::nextWakeAfter(Cycle now) const
+{
+    Cycle wake = tickActivity ? now + 1 : kNeverCycle;
+    auto consider = [&](Cycle c) {
+        if (c > now && c < wake)
+            wake = c;
+    };
+    for (const Txn &t : txns) {
+        switch (t.state) {
+          case TxnState::Staging:
+          case TxnState::WriteData:
+            consider(t.readyAt > now ? t.readyAt : now + 1);
+            break;
+          case TxnState::QueuedRead:
+          case TxnState::QueuedWrite:
+          case TxnState::StagePending:
+          case TxnState::VecWritePending: {
+            // Waiting on the request bus.
+            Cycle free_at = vectorBus.busyUntil();
+            consider(free_at > now ? free_at : now + 1);
+            break;
+          }
+          default:
+            break; // Free / Gathering / Scattering: BC wakes cover it
+        }
+    }
+    for (const auto &bc : bcs)
+        consider(bc->nextWakeAfter(now));
+    return wake;
 }
 
 std::vector<Completion>

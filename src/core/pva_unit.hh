@@ -55,6 +55,23 @@ class PvaUnit : public MemorySystem
 
     void tick(Cycle now) override;
 
+    /**
+     * Wake contract: earliest of the txn state machine's timed
+     * transitions (readyAt), the vector bus freeing for a queued
+     * request, and every bank controller's own wake; now + 1 whenever
+     * the last tick changed state; kNeverCycle when fully drained.
+     */
+    Cycle nextWakeAfter(Cycle now) const override;
+
+    /**
+     * Top-of-cycle hook: credits the per-cycle occupancy stats (front
+     * end and BCs) for any span event clocking skipped — state was
+     * frozen over the span, so the credit is exact — and stamps the
+     * acceptedAt reference cycle trySubmit uses, keeping submission
+     * timestamps identical to the exhaustive stepper's.
+     */
+    void onCycleBegin(Cycle now) override;
+
     /** Direct access for white-box tests. */
     BankController &bankController(unsigned i) { return *bcs[i]; }
     const PvaConfig &config() const { return cfg; }
@@ -108,6 +125,9 @@ class PvaUnit : public MemorySystem
     Scalar statCtxOccupancy;  ///< Sum over ticks of in-flight txns
     Scalar statCtxFullCycles; ///< Ticks with no free transaction slot
     Cycle lastTickCycle = 0;
+    Cycle lastProcessedTick = 0; ///< Last cycle tick() actually ran
+    bool tickedYet = false;
+    bool tickActivity = false; ///< Did the last tick change state?
     Distribution statReadLatency{4};  ///< Submit-to-data, 4-cycle buckets
     Distribution statWriteLatency{4}; ///< Submit-to-commit
 };

@@ -24,6 +24,7 @@
 #include "core/bank_controller.hh"
 #include "sdram/device.hh"
 #include "sdram/geometry.hh"
+#include "sim/clocking.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
@@ -66,6 +67,9 @@ struct SystemConfig
     bool timingCheck = false;
     /** Fault-injection plan (PVA systems; disabled by default). */
     FaultPlan faults{};
+    /** Clocking discipline of the driving Simulation (all systems).
+     *  Event is cycle-exact with Exhaustive; see docs/SIMULATION.md. */
+    ClockingMode clocking = ClockingMode::Event;
 
     /** The PVA-specific projection of this configuration. */
     PvaConfig

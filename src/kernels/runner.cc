@@ -9,7 +9,7 @@ RunResult
 runTrace(MemorySystem &sys, const KernelTrace &trace,
          const RunLimits &limits)
 {
-    Simulation sim;
+    Simulation sim(limits.clocking);
     sim.add(&sys);
     VectorCommandUnit vcu(sys, trace);
 
@@ -20,6 +20,11 @@ runTrace(MemorySystem &sys, const KernelTrace &trace,
     RunResult r;
     r.cycles = sim.now() - start;
     r.mismatches = verifyTrace(trace, sys.memory());
+    r.simTicks = sim.simTicks();
+    r.cyclesSkipped = sim.cyclesSkipped();
+    r.wallMillis = sim.wallMillis();
+    r.cyclesPerSecond = sim.cyclesPerSecond();
+    sys.recordSimPerf(r.simTicks, r.cyclesSkipped, r.cyclesPerSecond);
     return r;
 }
 

@@ -18,13 +18,18 @@ struct RunResult
 {
     Cycle cycles = 0;          ///< Start of issue to last completion
     std::size_t mismatches = 0; ///< Functional check (0 = correct)
+    std::uint64_t simTicks = 0;      ///< Processed cycles
+    std::uint64_t cyclesSkipped = 0; ///< Event-clocking skips
+    double wallMillis = 0.0;         ///< Wall time inside runUntil
+    std::uint64_t cyclesPerSecond = 0; ///< Simulated cycles per second
 };
 
-/** Watchdog budgets for one run (see Simulation::runUntil). */
+/** Watchdog budgets and clocking for one run (Simulation::runUntil). */
 struct RunLimits
 {
     Cycle maxCycles = 50000000;  ///< Simulated-cycle watchdog
     double timeoutMillis = 0.0;  ///< Wall-clock watchdog; 0 disables
+    ClockingMode clocking = ClockingMode::Event; ///< Stepper choice
 };
 
 /** Run @p trace on @p sys; verifies the final memory image. */

@@ -96,10 +96,18 @@ runPoint(const SweepRequest &request)
                                   request.stride, request.elements);
 
     auto sys = makeSystem(request.system, request.config);
-    RunResult r = runKernelOn(*sys, request.kernel, cfg, request.limits);
+    // The clocking discipline travels with the system configuration so
+    // sweep grids honor SystemConfig::clocking without every caller
+    // having to mirror it into RunLimits.
+    RunLimits limits = request.limits;
+    limits.clocking = request.config.clocking;
+    RunResult r = runKernelOn(*sys, request.kernel, cfg, limits);
 
-    return {request.system, request.kernel, request.stride,
-            request.alignment, r.cycles, r.mismatches};
+    SweepPoint p{request.system, request.kernel, request.stride,
+                 request.alignment, r.cycles, r.mismatches};
+    p.simTicks = r.simTicks;
+    p.cyclesSkipped = r.cyclesSkipped;
+    return p;
 }
 
 SweepPoint

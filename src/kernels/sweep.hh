@@ -81,6 +81,8 @@ struct SweepPoint
     unsigned alignment; ///< Index into alignmentPresets()
     Cycle cycles;
     std::size_t mismatches;
+    std::uint64_t simTicks = 0;      ///< Processed cycles
+    std::uint64_t cyclesSkipped = 0; ///< Event-clocking skips
     PointStatus status = PointStatus::Ok;
     unsigned attempts = 1; ///< Attempts consumed (1 = no retries)
 };

@@ -67,6 +67,8 @@ SweepReport::dumpJson(std::ostream &os) const
        << "  \"ok\": " << ok << ",\n"
        << "  \"retried\": " << retried << ",\n"
        << "  \"failed\": " << failed << ",\n"
+       << "  \"simTicks\": " << simTicks << ",\n"
+       << "  \"cyclesSkipped\": " << cyclesSkipped << ",\n"
        << "  \"failures\": [";
     for (std::size_t i = 0; i < failures.size(); ++i) {
         const PointFailure &f = failures[i];
@@ -90,6 +92,8 @@ SweepExecutor::SweepExecutor(unsigned jobs) : workerCount(jobs)
     }
     statSet.addScalar("sweep.points", &statPoints);
     statSet.addScalar("sweep.simCycles", &statSimCycles);
+    statSet.addScalar("sweep.simTicks", &statSimTicks);
+    statSet.addScalar("sweep.cyclesSkipped", &statCyclesSkipped);
     statSet.addScalar("sweep.mismatches", &statMismatches);
     statSet.addScalar("sweep.retries", &statRetries);
     statSet.addScalar("sweep.failures", &statFailures);
@@ -222,6 +226,10 @@ SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
         }
         p.attempts = tp.attempts;
         statSimCycles += p.cycles;
+        statSimTicks += p.simTicks;
+        statCyclesSkipped += p.cyclesSkipped;
+        report.simTicks += p.simTicks;
+        report.cyclesSkipped += p.cyclesSkipped;
         statMismatches += p.mismatches;
         if (progress)
             progress({tp.done, tp.total, p, tp.millis});

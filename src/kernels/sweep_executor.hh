@@ -104,6 +104,8 @@ struct SweepReport
     std::size_t retried = 0; ///< Succeeded after at least one retry
     std::size_t failed = 0;  ///< Exhausted the attempt budget
     std::vector<PointFailure> failures; ///< In request order
+    std::uint64_t simTicks = 0;      ///< Cycles processed, all points
+    std::uint64_t cyclesSkipped = 0; ///< Cycles jumped (event clocking)
 
     bool allOk() const { return failed == 0; }
 
@@ -177,9 +179,9 @@ class SweepExecutor
     std::vector<SweepPoint> run(const std::vector<SweepRequest> &grid);
 
     /** Executor statistics: "sweep.points", "sweep.simCycles",
-     *  "sweep.mismatches", "sweep.retries", "sweep.failures", and the
-     *  "sweep.pointMillis" distribution. Accumulates across run()
-     *  calls. */
+     *  "sweep.simTicks", "sweep.cyclesSkipped", "sweep.mismatches",
+     *  "sweep.retries", "sweep.failures", and the "sweep.pointMillis"
+     *  distribution. Accumulates across run() calls. */
     StatSet &stats() { return statSet; }
 
     /**
@@ -200,6 +202,8 @@ class SweepExecutor
     StatSet statSet;
     Scalar statPoints;
     Scalar statSimCycles;
+    Scalar statSimTicks;
+    Scalar statCyclesSkipped;
     Scalar statMismatches;
     Scalar statRetries;
     Scalar statFailures;

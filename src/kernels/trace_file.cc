@@ -99,9 +99,10 @@ parseTrace(std::istream &in, TraceFile &out, std::string &error)
 }
 
 ReplayResult
-replayTrace(MemorySystem &sys, const TraceFile &trace)
+replayTrace(MemorySystem &sys, const TraceFile &trace,
+            ClockingMode clocking)
 {
-    Simulation sim;
+    Simulation sim(clocking);
     sim.add(&sys);
 
     ReplayResult result;
@@ -158,6 +159,10 @@ replayTrace(MemorySystem &sys, const TraceFile &trace)
         100000000);
 
     result.cycles = sim.now();
+    result.simTicks = sim.simTicks();
+    result.cyclesSkipped = sim.cyclesSkipped();
+    sys.recordSimPerf(sim.simTicks(), sim.cyclesSkipped(),
+                      sim.cyclesPerSecond());
     return result;
 }
 

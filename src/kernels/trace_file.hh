@@ -25,6 +25,7 @@
 
 #include "core/memory_system.hh"
 #include "core/vector_command.hh"
+#include "sim/clocking.hh"
 
 namespace pva
 {
@@ -59,10 +60,15 @@ struct ReplayResult
     std::uint64_t commands = 0;
     /** Order-independent checksum over all gathered read data. */
     std::uint64_t readChecksum = 0;
+    /** Cycles actually processed by the clocking core. */
+    std::uint64_t simTicks = 0;
+    /** Cycles skipped by event clocking (0 under Exhaustive). */
+    std::uint64_t cyclesSkipped = 0;
 };
 
 /** Replay @p trace against @p sys until every command completes. */
-ReplayResult replayTrace(MemorySystem &sys, const TraceFile &trace);
+ReplayResult replayTrace(MemorySystem &sys, const TraceFile &trace,
+                         ClockingMode clocking = ClockingMode::Event);
 
 } // namespace pva
 

@@ -55,12 +55,55 @@ SdramDevice::tick(Cycle now)
     }
     if (times.tREFI == 0)
         return;
-    Cycle boundary = (now / times.tREFI) * times.tREFI;
-    if (boundary == 0 || boundary == lastRefreshApplied)
-        return;
-    lastRefreshApplied = boundary;
-    ++statRefreshes;
-    applyRefresh(boundary);
+    // Catch up on every boundary reached so far, in order. The event
+    // stepper only skips spans where this bank controller is idle, so
+    // a multi-boundary catch-up happens with no row open and no access
+    // pending; applying each refresh at its boundary cycle reproduces
+    // the exhaustive stepper's state and refresh count exactly.
+    Cycle latest = (now / times.tREFI) * times.tREFI;
+    while (lastRefreshApplied < latest) {
+        Cycle boundary = lastRefreshApplied + times.tREFI;
+        lastRefreshApplied = boundary;
+        ++statRefreshes;
+        applyRefresh(boundary);
+    }
+}
+
+Cycle
+SdramDevice::nextTimingEventAfter(Cycle now) const
+{
+    Cycle wake = kNeverCycle;
+    auto consider = [&](Cycle c) {
+        if (c > now && c < wake)
+            wake = c;
+    };
+
+    if (!pending.empty()) {
+        Cycle ready = pending.front().readyAt;
+        consider(ready > now ? ready : now + 1);
+    }
+    if (lastCommandCycle != kNeverCycle)
+        consider(lastCommandCycle + 1); // command bus frees
+    consider(refreshBusyUntil);
+    for (const InternalBank &ib : ibanks) {
+        consider(ib.accessReadyAt);
+        consider(ib.prechargeReadyAt);
+        consider(ib.activateReadyAt);
+    }
+    if (anyDataYet) {
+        // First cycles at which the data-pin occupancy / turnaround
+        // rules admit a new read (data at now + tCL) or write (data at
+        // now + 1): same polarity needs data > lastDataCycle, a
+        // reversal needs data >= lastDataCycle + 2.
+        for (Cycle base : {lastDataCycle + 1, lastDataCycle + 2}) {
+            if (base > times.tCL)
+                consider(base - times.tCL); // read thresholds
+            consider(base - 1);             // write thresholds
+        }
+    }
+    if (times.tREFI != 0)
+        consider((now / times.tREFI + 1) * times.tREFI);
+    return wake;
 }
 
 void

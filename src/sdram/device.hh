@@ -120,6 +120,24 @@ class BankDevice : public Component
     /** True iff no read data remains in flight. */
     bool quiescent() const { return pending.empty(); }
 
+    /**
+     * Earliest cycle (> @p now) at which this device's timing state
+     * can change on its own: pending read data maturing, restimer
+     * thresholds (tRCD/tRP/tRAS/tRC), data-pin occupancy clearing,
+     * command-bus release, refresh completion, or the next tREFI
+     * boundary. kNeverCycle if nothing is scheduled. Conservative
+     * (early) answers are allowed; this feeds the owning bank
+     * controller's Component::nextWakeAfter.
+     */
+    virtual Cycle
+    nextTimingEventAfter(Cycle now) const
+    {
+        if (pending.empty())
+            return kNeverCycle;
+        Cycle ready = pending.front().readyAt;
+        return ready > now ? ready : now + 1;
+    }
+
     unsigned bank() const { return bankIndex; }
 
     void tick(Cycle) override {}
@@ -149,9 +167,14 @@ class SdramDevice : public BankDevice
     /**
      * Apply pending auto-refresh: at each tREFI boundary all internal
      * banks precharge and the device is unavailable for tRFC cycles.
-     * Called by the bank controller at the top of every cycle.
+     * Called by the bank controller at the top of every processed
+     * cycle; under event clocking it catches up on every boundary the
+     * skipped span crossed, in order, so the refresh count and row
+     * state match the exhaustive stepper exactly.
      */
     void tick(Cycle now) override;
+
+    Cycle nextTimingEventAfter(Cycle now) const override;
 
     /** Enable fault injection (spontaneous refresh stalls) for this
      *  device, drawing decisions from the plan's stream @p stream. */

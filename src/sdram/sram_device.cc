@@ -31,6 +31,25 @@ SramDevice::canIssue(const DeviceOp &op, Cycle now) const
     return false;
 }
 
+Cycle
+SramDevice::nextTimingEventAfter(Cycle now) const
+{
+    Cycle wake = kNeverCycle;
+    auto consider = [&](Cycle c) {
+        if (c > now && c < wake)
+            wake = c;
+    };
+    if (!pending.empty()) {
+        Cycle ready = pending.front().readyAt;
+        consider(ready > now ? ready : now + 1);
+    }
+    if (lastCommandCycle != kNeverCycle)
+        consider(lastCommandCycle + 1); // command bus frees
+    if (anyDataYet)
+        consider(lastDataCycle); // data pins free (access legal again)
+    return wake;
+}
+
 void
 SramDevice::issue(const DeviceOp &op, Cycle now)
 {

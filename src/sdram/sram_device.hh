@@ -33,6 +33,8 @@ class SramDevice : public BankDevice
     std::uint32_t openRow(unsigned) const override { return 0; }
     std::uint32_t lastRow(unsigned) const override { return 0; }
 
+    Cycle nextTimingEventAfter(Cycle now) const override;
+
     Scalar statReads;
     Scalar statWrites;
 

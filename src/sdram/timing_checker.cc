@@ -46,6 +46,22 @@ TimingChecker::onCommand(const std::string &device, unsigned bank,
                            static_cast<unsigned long long>(
                                d.refreshBusyUntil)));
     }
+    if (times.tREFI != 0) {
+        // Skipped-span audit: every scheduled tREFI boundary up to now
+        // must have been applied (and reported via onRefresh) before a
+        // command may issue — event clocking is not allowed to jump a
+        // refresh boundary away.
+        Cycle due = (now / times.tREFI) * times.tREFI;
+        if (due > d.refreshSeenThrough) {
+            violation(device, now,
+                      csprintf("scheduled refresh at cycle %llu was "
+                               "skipped (refresh seen through cycle "
+                               "%llu)",
+                               static_cast<unsigned long long>(due),
+                               static_cast<unsigned long long>(
+                                   d.refreshSeenThrough)));
+        }
+    }
     d.lastCommandAt = now;
 
     switch (op.kind) {
@@ -188,6 +204,13 @@ TimingChecker::onRefresh(unsigned bank, Cycle now, Cycle busy_until)
 {
     DeviceState &d = devs.at(bank);
     d.refreshBusyUntil = std::max(d.refreshBusyUntil, busy_until);
+    // A refresh on a tREFI boundary is the scheduled one; record the
+    // boundary as covered (injected refreshes land on arbitrary cycles
+    // and do not satisfy the schedule).
+    if (times.tREFI != 0 && now != 0 && now % times.tREFI == 0 &&
+        now > d.refreshSeenThrough) {
+        d.refreshSeenThrough = now;
+    }
     for (IBankState &ib : d.ibanks) {
         ib.open = false;
         // A post-refresh activate is legal exactly at busy_until; the

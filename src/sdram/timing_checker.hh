@@ -107,6 +107,11 @@ class TimingChecker
         bool lastDataWasRead = true;
         bool anyDataYet = false;
         Cycle refreshBusyUntil = 0;
+        /** Latest tREFI boundary a scheduled refresh has covered.
+         *  Audits event clocking: every boundary inside a skipped
+         *  span must still have produced its onRefresh before the
+         *  next command (the device catch-up runs at tick start). */
+        Cycle refreshSeenThrough = 0;
     };
 
     /** What a device transferred for one (transaction, slot). */

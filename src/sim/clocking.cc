@@ -1,0 +1,32 @@
+#include "sim/clocking.hh"
+
+namespace pva
+{
+
+const char *
+clockingModeName(ClockingMode mode)
+{
+    switch (mode) {
+      case ClockingMode::Exhaustive:
+        return "exhaustive";
+      case ClockingMode::Event:
+        return "event";
+    }
+    return "unknown";
+}
+
+bool
+parseClockingMode(const std::string &name, ClockingMode &out)
+{
+    if (name == "exhaustive") {
+        out = ClockingMode::Exhaustive;
+        return true;
+    }
+    if (name == "event") {
+        out = ClockingMode::Event;
+        return true;
+    }
+    return false;
+}
+
+} // namespace pva

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Clocking discipline of a Simulation (docs/SIMULATION.md).
+ *
+ * Exhaustive is the legacy reference stepper: every registered
+ * component ticks every cycle. Event is the wake-scheduled fast path:
+ * the Simulation asks each component how long it is quiescent
+ * (Component::nextWakeAfter), merges in externally requested wakes
+ * (Simulation::requestWake), and advances the clock directly to the
+ * earliest pending wake — skipping the idle cycles in between. The two
+ * modes are cycle-exact equivalents; the differential tests
+ * (tests/test_event_clocking.cc) hold them to byte-identical stats.
+ */
+
+#ifndef PVA_SIM_CLOCKING_HH
+#define PVA_SIM_CLOCKING_HH
+
+#include <string>
+
+namespace pva
+{
+
+/** How Simulation::runUntil advances the clock. */
+enum class ClockingMode
+{
+    Exhaustive, ///< Tick every component every cycle (reference)
+    Event,      ///< Skip to the earliest pending wake (default)
+};
+
+/** Short lowercase identifier ("exhaustive", "event"). */
+const char *clockingModeName(ClockingMode mode);
+
+/** Parse an identifier; returns false on unknown names. */
+bool parseClockingMode(const std::string &name, ClockingMode &out);
+
+} // namespace pva
+
+#endif // PVA_SIM_CLOCKING_HH

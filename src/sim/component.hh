@@ -2,13 +2,36 @@
  * @file
  * Base class for clocked hardware components.
  *
- * The simulator is cycle-driven: every cycle the Simulation calls tick()
- * on each registered component in registration order. Registration order
- * therefore defines intra-cycle signal visibility (a component ticked
- * earlier exposes this cycle's outputs to components ticked later), which
- * is how we model the combinational paths of the paper's design — e.g.
- * the front end drives the vector bus before the bank controllers sample
- * it in the same cycle.
+ * The simulator is cycle-driven: at every *processed* cycle the
+ * Simulation calls tick() on each registered component in registration
+ * order. Registration order therefore defines intra-cycle signal
+ * visibility (a component ticked earlier exposes this cycle's outputs
+ * to components ticked later), which is how we model the combinational
+ * paths of the paper's design — e.g. the front end drives the vector
+ * bus before the bank controllers sample it in the same cycle.
+ *
+ * Under ClockingMode::Event (sim/clocking.hh) not every cycle is
+ * processed: after ticking a cycle, the Simulation polls each
+ * component's nextWakeAfter() and jumps the clock directly to the
+ * earliest wake. The wake contract a component must honor:
+ *
+ *  - nextWakeAfter(now) returns the earliest future cycle at which the
+ *    component could change observable state, given no external input.
+ *    Returning kNeverCycle means "quiescent until someone drives me".
+ *    Waking *early* is always safe (an extra tick must be a no-op);
+ *    waking *late* breaks cycle-exactness.
+ *  - Any tick that changed observable state must be followed by a wake
+ *    at now + 1 (the standard implementation returns now + 1 whenever
+ *    the last tick did any work), so downstream components sample the
+ *    change on the next cycle exactly as the exhaustive stepper would.
+ *  - The default (now + 1) keeps unconverted components on the legacy
+ *    every-cycle schedule, which is always correct, just slower.
+ *
+ * onCycleBegin() runs for every component at the top of each processed
+ * cycle, before the run predicate and before any tick. Components use
+ * it to settle bookkeeping that the exhaustive stepper got for free
+ * from being ticked every cycle (e.g. crediting per-cycle occupancy
+ * stats for the cycles skipped since the last tick).
  */
 
 #ifndef PVA_SIM_COMPONENT_HH
@@ -24,7 +47,7 @@ namespace pva
 
 /**
  * A clocked component. Derived classes implement tick(), which is called
- * once per simulated cycle.
+ * once per processed simulated cycle.
  */
 class Component
 {
@@ -37,6 +60,22 @@ class Component
 
     /** Advance this component by one clock cycle. */
     virtual void tick(Cycle cycle) = 0;
+
+    /**
+     * Earliest future cycle (> @p now) at which this component could
+     * change observable state without external input; kNeverCycle if
+     * fully quiescent. Called after tick(@p now) under event clocking.
+     * Conservative (early) answers are safe; late answers are bugs.
+     */
+    virtual Cycle nextWakeAfter(Cycle now) const { return now + 1; }
+
+    /**
+     * Hook run at the top of every processed cycle @p now, before the
+     * run predicate and before any component ticks. State must be
+     * exactly as of the end of the previous processed cycle when this
+     * is called; implementations may account for skipped cycles here.
+     */
+    virtual void onCycleBegin(Cycle now) { (void)now; }
 
     /** Instance name, used in stats and diagnostics. */
     const std::string &name() const { return componentName; }

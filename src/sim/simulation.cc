@@ -1,5 +1,6 @@
 #include "sim/simulation.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "sim/logging.hh"
@@ -8,26 +9,98 @@
 namespace pva
 {
 
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+/** Accumulates wall time into a total even when runUntil throws. */
+class WallTimer
+{
+  public:
+    explicit WallTimer(double &total)
+        : total(total), start(SteadyClock::now())
+    {}
+
+    ~WallTimer() { total += elapsedMillis(); }
+
+    double
+    elapsedMillis() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   SteadyClock::now() - start)
+            .count();
+    }
+
+  private:
+    double &total;
+    SteadyClock::time_point start;
+};
+
+} // anonymous namespace
+
 void
 Simulation::step()
 {
     for (Component *c : components)
         c->tick(currentCycle);
     ++currentCycle;
+    ++ticksProcessed;
+}
+
+void
+Simulation::requestWake(Cycle cycle)
+{
+    // Exhaustive clocking processes every cycle anyway; dropping the
+    // request keeps the heap from growing without bound under
+    // predicates that re-post their schedule every cycle.
+    if (mode == ClockingMode::Exhaustive)
+        return;
+    if (cycle == kNeverCycle || cycle <= currentCycle)
+        return;
+    wakeHeap.push(cycle);
+}
+
+std::uint64_t
+Simulation::cyclesPerSecond() const
+{
+    if (accumWallMillis <= 0.0)
+        return 0;
+    double cycles =
+        static_cast<double>(ticksProcessed + skippedCycles);
+    return static_cast<std::uint64_t>(cycles * 1000.0 /
+                                      accumWallMillis);
 }
 
 Cycle
 Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
                      double wall_limit_millis)
 {
-    using SteadyClock = std::chrono::steady_clock;
-    // Check the wall clock only once per stripe of cycles; a
-    // steady_clock read per simulated cycle would dominate the run.
-    constexpr Cycle kWallCheckStride = 4096;
+    // Check the wall clock only once per stripe of work; a
+    // steady_clock read per processed cycle would dominate the run.
+    // The stripe is capped both in loop iterations (many same-cycle
+    // external wakes) and in advanced cycles (event skips can cross
+    // millions of cycles in one iteration).
+    constexpr std::uint64_t kWallCheckStride = 4096;
 
-    Cycle start = currentCycle;
-    const auto wall_start = SteadyClock::now();
-    while (!done()) {
+    const Cycle start = currentCycle;
+    // Saturating budget edge: event jumps are clamped here so the
+    // cycle watchdog observes the same cycle as the exhaustive stepper.
+    const Cycle limit = max_cycles > kNeverCycle - start
+                            ? kNeverCycle
+                            : start + max_cycles;
+
+    WallTimer wall(accumWallMillis);
+    // Force a wall check on the first iteration, matching the legacy
+    // stepper's (cycle - start) % stride == 0 cadence at cycle 0.
+    std::uint64_t iters_since = kWallCheckStride;
+    std::uint64_t cycles_since = 0;
+
+    while (true) {
+        for (Component *c : components)
+            c->onCycleBegin(currentCycle);
+        if (done())
+            return currentCycle;
         if (currentCycle - start >= max_cycles) {
             throw SimError(SimErrorKind::Watchdog, "simulation",
                            currentCycle,
@@ -37,11 +110,11 @@ Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
                                         max_cycles)));
         }
         if (wall_limit_millis > 0.0 &&
-            (currentCycle - start) % kWallCheckStride == 0) {
-            double elapsed_ms =
-                std::chrono::duration<double, std::milli>(
-                    SteadyClock::now() - wall_start)
-                    .count();
+            (iters_since >= kWallCheckStride ||
+             cycles_since >= kWallCheckStride)) {
+            iters_since = 0;
+            cycles_since = 0;
+            double elapsed_ms = wall.elapsedMillis();
             if (elapsed_ms >= wall_limit_millis) {
                 throw SimError(
                     SimErrorKind::Watchdog, "simulation", currentCycle,
@@ -52,9 +125,35 @@ Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
                                  currentCycle - start)));
             }
         }
-        step();
+
+        for (Component *c : components)
+            c->tick(currentCycle);
+        ++ticksProcessed;
+
+        Cycle next = currentCycle + 1;
+        if (mode == ClockingMode::Event) {
+            next = kNeverCycle;
+            for (const Component *c : components)
+                next = std::min(next, c->nextWakeAfter(currentCycle));
+            while (!wakeHeap.empty() && wakeHeap.top() <= currentCycle)
+                wakeHeap.pop();
+            if (!wakeHeap.empty())
+                next = std::min(next, wakeHeap.top());
+            // No pending wake anywhere: the model is deadlocked. Step
+            // one cycle at a time so the watchdogs fire exactly as
+            // they would under the exhaustive stepper.
+            if (next == kNeverCycle)
+                next = currentCycle + 1;
+            if (next > limit)
+                next = limit;
+            if (next <= currentCycle)
+                next = currentCycle + 1;
+            skippedCycles += next - currentCycle - 1;
+        }
+        cycles_since += next - currentCycle;
+        ++iters_since;
+        currentCycle = next;
     }
-    return currentCycle;
 }
 
 } // namespace pva

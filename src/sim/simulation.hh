@@ -1,14 +1,27 @@
 /**
  * @file
- * Cycle-driven simulation driver.
+ * Cycle-driven simulation driver with two clocking disciplines.
+ *
+ * ClockingMode::Exhaustive is the reference stepper (tick every
+ * component every cycle). ClockingMode::Event keeps the same processed
+ * cycles semantically identical but skips spans where every component
+ * reports itself quiescent: after ticking cycle C it computes the
+ * minimum of each component's nextWakeAfter(C) and any externally
+ * requested wakes, and advances the clock directly there. Both modes
+ * tick *all* registered components at every processed cycle, in
+ * registration order, so intra-cycle signal visibility is untouched;
+ * the speedup comes purely from not processing provably idle cycles.
+ * See docs/SIMULATION.md for the wake contract and exactness argument.
  */
 
 #ifndef PVA_SIM_SIMULATION_HH
 #define PVA_SIM_SIMULATION_HH
 
 #include <functional>
+#include <queue>
 #include <vector>
 
+#include "sim/clocking.hh"
 #include "sim/component.hh"
 #include "sim/types.hh"
 
@@ -25,7 +38,9 @@ namespace pva
 class Simulation
 {
   public:
-    Simulation() = default;
+    explicit Simulation(ClockingMode mode = ClockingMode::Event)
+        : mode(mode)
+    {}
 
     /** Register a component. Order of registration is tick order. */
     void add(Component *c) { components.push_back(c); }
@@ -33,18 +48,38 @@ class Simulation
     /** Current cycle (number of completed ticks). */
     Cycle now() const { return currentCycle; }
 
-    /** Advance exactly one cycle. */
+    /** Clocking discipline this simulation runs under. */
+    ClockingMode clocking() const { return mode; }
+
+    /**
+     * Schedule an external wake at @p cycle. Used by run predicates
+     * (e.g. the traffic arbiter's open-loop arrival schedule) that
+     * know about future work no registered component can see yet.
+     * Ignored under Exhaustive clocking (every cycle is processed
+     * anyway), and for cycles not strictly in the future.
+     */
+    void requestWake(Cycle cycle);
+
+    /**
+     * Advance exactly one cycle, ticking every component (legacy
+     * stepper semantics regardless of clocking mode). White-box tests
+     * drive components manually through this.
+     */
     void step();
 
     /**
-     * Run until @p done returns true, checking after every cycle.
+     * Run until @p done returns true, checking at every processed
+     * cycle.
      *
      * Two watchdogs guard against a hung model: a cycle budget and an
-     * optional wall-clock budget (checked every few thousand cycles to
-     * keep the steady_clock reads off the fast path). Either expiring
-     * throws SimError(Watchdog) so callers — notably the sweep
-     * executor — can report the point and move on instead of aborting
-     * the process.
+     * optional wall-clock budget. Either expiring throws
+     * SimError(Watchdog) so callers — notably the sweep executor — can
+     * report the point and move on instead of aborting the process.
+     * Under Event clocking a jump is clamped to the cycle-budget edge,
+     * so the watchdog observes the same cycle it would have under the
+     * exhaustive stepper; a run with no pending wakes degrades to
+     * stepping one cycle at a time until a watchdog fires, exactly as
+     * the exhaustive stepper would on the same deadlock.
      *
      * @param done              Completion predicate.
      * @param max_cycles        Simulated-cycle watchdog.
@@ -55,9 +90,31 @@ class Simulation
                    Cycle max_cycles = 100000000,
                    double wall_limit_millis = 0.0);
 
+    /** @name Clocking performance counters
+     * Accumulated across all runUntil calls on this instance.
+     * @{ */
+    /** Processed cycles (every component ticked). */
+    std::uint64_t simTicks() const { return ticksProcessed; }
+    /** Cycles skipped by event clocking (0 under Exhaustive). */
+    std::uint64_t cyclesSkipped() const { return skippedCycles; }
+    /** Wall-clock time spent inside runUntil, in milliseconds. */
+    double wallMillis() const { return accumWallMillis; }
+    /** Simulated cycles (processed + skipped) per wall-clock second. */
+    std::uint64_t cyclesPerSecond() const;
+    /** @} */
+
   private:
     std::vector<Component *> components;
     Cycle currentCycle = 0;
+    ClockingMode mode;
+
+    /** External wakes (min-heap); drained as the clock passes them. */
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        wakeHeap;
+
+    std::uint64_t ticksProcessed = 0;
+    std::uint64_t skippedCycles = 0;
+    double accumWallMillis = 0.0;
 };
 
 } // namespace pva

@@ -27,6 +27,8 @@ class Scalar
 
     Scalar &operator++() { ++count; return *this; }
     Scalar &operator+=(std::uint64_t n) { count += n; return *this; }
+    /** Overwrite the value; for gauges copied in at end of run. */
+    void set(std::uint64_t v) { count = v; }
     void reset() { count = 0; }
 
     std::uint64_t value() const { return count; }

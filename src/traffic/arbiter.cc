@@ -36,7 +36,7 @@ StreamArbiter::StreamArbiter(const ArbiterConfig &config,
                              std::vector<StreamSource> sources_,
                              ServiceStats &stats_)
     : cfg(config), sources(std::move(sources_)), stats(stats_),
-      queues(sources.size())
+      queues(sources.size()), wasDeferred(sources.size(), false)
 {
     if (!sources.empty())
         lastGranted = static_cast<unsigned>(sources.size()) - 1;
@@ -121,6 +121,21 @@ StreamArbiter::pick(Cycle now, unsigned &out) const
 bool
 StreamArbiter::service(MemorySystem &sys, Cycle now)
 {
+    // --- 0. Credit any skipped span [lastServiceAt+1, now-1]. --------
+    // Event clocking only reaches here with a gap when neither the
+    // system nor the arbiter could change during it, so the occupancy
+    // sample and per-stream backpressure flags recorded at the last
+    // step held on every skipped cycle.
+    if (everServiced && now > lastServiceAt + 1) {
+        Cycle gap = now - lastServiceAt - 1;
+        stats.onCycleGap(gap, lastInFlightSample);
+        for (unsigned i = 0; i < sources.size(); ++i) {
+            if (wasDeferred[i])
+                stats.onDeferredGap(i, gap);
+        }
+    }
+    bool changed = false;
+
     // --- 1. Completions. ---------------------------------------------
     for (Completion &c : sys.drainCompletions()) {
         auto it = inFlight.find(c.tag);
@@ -131,6 +146,7 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
                          f.words, f.isRead);
         sources[f.stream].onComplete();
         inFlight.erase(it);
+        changed = true;
     }
 
     // --- 2. Admission: pull arrivals into the bounded queues. --------
@@ -149,9 +165,11 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
             queues[i].push_back(src.emit(now));
             stats.onArrival(i);
             stats.onQueueDepth(i, queues[i].size());
+            changed = true;
         }
         if (deferred)
             stats.onDeferred(i);
+        wasDeferred[i] = deferred;
     }
 
     // --- 3. Grant: submit queue heads until the system refuses. ------
@@ -170,15 +188,40 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
         stats.onSubmit(chosen, now - req.arrival);
         queues[chosen].pop_front();
         lastGranted = chosen;
+        changed = true;
     }
 
     // --- 4. Occupancy sample (end-of-step in-flight count). ----------
     stats.onCycle(sys.inFlight());
 
+    changedLastService = changed;
+    everServiced = true;
+    lastServiceAt = now;
+    lastInFlightSample = sys.inFlight();
+
     bool drained = inFlight.empty();
     for (unsigned i = 0; drained && i < sources.size(); ++i)
         drained = sources[i].exhausted() && queues[i].empty();
     return drained;
+}
+
+Cycle
+StreamArbiter::nextWake(Cycle now) const
+{
+    if (changedLastService)
+        return now + 1;
+    Cycle wake = kNeverCycle;
+    for (const StreamSource &s : sources) {
+        if (s.config().mode != ArrivalMode::OpenLoop || s.exhausted())
+            continue;
+        Cycle a = s.nextArrivalCycle();
+        // An arrival already due but deferred needs no wake of its
+        // own: only a completion can free queue space, and completions
+        // ride the memory system's wakes (via changedLastService).
+        if (a > now && a < wake)
+            wake = a;
+    }
+    return wake;
 }
 
 } // namespace pva

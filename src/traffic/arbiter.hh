@@ -87,6 +87,27 @@ class StreamArbiter
      */
     bool service(MemorySystem &sys, Cycle now);
 
+    /**
+     * Earliest cycle after @p now at which the arbiter itself has work
+     * that no system wake covers (for Simulation::requestWake under
+     * ClockingMode::Event). Three cases:
+     *
+     *  - the last service changed something (completion, admission, or
+     *    grant): now + 1, since follow-on admission/grant decisions may
+     *    cascade next cycle;
+     *  - otherwise the earliest pending open-loop arrival, the only
+     *    arrival discipline with a clock of its own (closed-loop and
+     *    trace arrivals are unblocked by completions, which the memory
+     *    system's own wakes cover);
+     *  - otherwise kNeverCycle.
+     *
+     * Skipped cycles are credited to the per-cycle counters (occupancy
+     * samples, deferrals) at the next service via ServiceStats'
+     * onCycleGap/onDeferredGap — exact because arbiter and system
+     * state are provably frozen over the span.
+     */
+    Cycle nextWake(Cycle now) const;
+
     /** Apply all trace-stream pokes to the system's memory. */
     void applyPokes(SparseMemory &mem) const;
 
@@ -117,6 +138,16 @@ class StreamArbiter
     std::unordered_map<std::uint64_t, InFlight> inFlight;
     std::uint64_t nextTag = 0;
     unsigned lastGranted = 0; ///< RoundRobin cursor
+
+    /** @name Event-clocking bookkeeping
+     * service() records what the step did so nextWake() and the next
+     * step's gap credit can reconstruct the skipped cycles. @{ */
+    bool changedLastService = false; ///< Completion/admission/grant seen
+    bool everServiced = false;
+    Cycle lastServiceAt = 0;
+    std::size_t lastInFlightSample = 0; ///< sys.inFlight() at last step
+    std::vector<bool> wasDeferred;      ///< Per-stream backpressure flag
+    /** @} */
 };
 
 } // namespace pva

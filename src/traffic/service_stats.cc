@@ -107,6 +107,20 @@ ServiceStats::onCycle(std::size_t in_flight)
     statOccupancySum += in_flight;
 }
 
+void
+ServiceStats::onCycleGap(Cycle cycles, std::size_t in_flight)
+{
+    statCycles += cycles;
+    statOccupancySum += in_flight * cycles;
+}
+
+void
+ServiceStats::onDeferredGap(unsigned stream, Cycle cycles)
+{
+    perStream[stream]->deferrals += cycles;
+    aggregate.deferrals += cycles;
+}
+
 std::uint64_t
 ServiceStats::completed(unsigned stream) const
 {

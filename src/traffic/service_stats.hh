@@ -65,6 +65,14 @@ class ServiceStats
     void onCycle(std::size_t in_flight); ///< Context-occupancy sample
     /** @} */
 
+    /** @name Skipped-span credit (event clocking)
+     * Under ClockingMode::Event the arbiter is not called on cycles
+     * where nothing can change; these credit the per-cycle counters
+     * for @p cycles skipped cycles whose state was frozen. @{ */
+    void onCycleGap(Cycle cycles, std::size_t in_flight);
+    void onDeferredGap(unsigned stream, Cycle cycles);
+    /** @} */
+
     std::size_t streams() const { return perStream.size(); }
 
     /** The registered stat registry (for dump/dumpJson/queries). */

@@ -122,6 +122,11 @@ class StreamSource
     /** Requests currently outstanding (closed-loop accounting). */
     std::uint64_t inWindow() const { return outstanding; }
 
+    /** Open-loop schedule head: when the next arrival is due (may be
+     *  in the past while backpressured). Meaningful only in OpenLoop
+     *  mode; closed-loop/trace arrivals are completion-driven. */
+    Cycle nextArrivalCycle() const { return nextArrival; }
+
     /** Apply the trace's poke preamble to the functional memory
      *  (no-op for non-trace streams). */
     void applyPokes(SparseMemory &mem) const;

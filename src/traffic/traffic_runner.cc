@@ -37,7 +37,9 @@ TrafficResult::dumpJson(std::ostream &os) const
        << ", \"requestsPerKilocycle\": " << requestsPerKilocycle
        << ", \"wordsPerCycle\": " << wordsPerCycle
        << ", \"meanInFlight\": " << meanInFlight
-       << ", \"bcUtilization\": " << bcUtilization << ", ";
+       << ", \"bcUtilization\": " << bcUtilization
+       << ", \"simTicks\": " << simTicks
+       << ", \"cyclesSkipped\": " << cyclesSkipped << ", ";
     jsonSummary(os, "queueDelay", queueDelay);
     os << ", ";
     jsonSummary(os, "serviceLatency", serviceLatency);
@@ -94,13 +96,26 @@ runTraffic(const TrafficConfig &config, std::ostream *stats_dump)
     StreamArbiter arbiter(config.arbiter, std::move(sources), stats);
     arbiter.applyPokes(sys->memory());
 
-    Simulation sim;
+    Simulation sim(config.config.clocking);
     sim.add(sys.get());
-    sim.runUntil([&] { return arbiter.service(*sys, sim.now()); },
-                 config.limits.maxCycles, config.limits.timeoutMillis);
+    sim.runUntil(
+        [&] {
+            bool done = arbiter.service(*sys, sim.now());
+            // The arbiter is not a Component; its self-scheduled work
+            // (open-loop arrivals, post-change cascades) is posted as
+            // external wakes. No-op under exhaustive clocking.
+            if (!done)
+                sim.requestWake(arbiter.nextWake(sim.now()));
+            return done;
+        },
+        config.limits.maxCycles, config.limits.timeoutMillis);
 
     TrafficResult r;
     r.cycles = sim.now();
+    r.simTicks = sim.simTicks();
+    r.cyclesSkipped = sim.cyclesSkipped();
+    r.cyclesPerSecond = sim.cyclesPerSecond();
+    sys->recordSimPerf(r.simTicks, r.cyclesSkipped, r.cyclesPerSecond);
     r.completed = stats.completedTotal();
     r.words = stats.wordsTotal();
     if (r.cycles > 0) {

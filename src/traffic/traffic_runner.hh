@@ -64,6 +64,9 @@ struct TrafficResult
     double wordsPerCycle = 0.0;        ///< Achieved bandwidth
     double meanInFlight = 0.0;  ///< Mean context occupancy (sampled)
     double bcUtilization = 0.0; ///< Mean BC scheduler duty cycle (PVA)
+    std::uint64_t simTicks = 0;      ///< Cycles actually processed
+    std::uint64_t cyclesSkipped = 0; ///< Cycles jumped (event clocking)
+    std::uint64_t cyclesPerSecond = 0; ///< Simulated cycles per wall second
     LatencySummary queueDelay;
     LatencySummary serviceLatency;
     LatencySummary totalLatency;

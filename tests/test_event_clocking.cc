@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Differential tests for the wake-scheduled (event) simulation core:
+ * ClockingMode::Event must reproduce the exhaustive stepper exactly —
+ * identical cycle counts, completions, and statistics — on every
+ * system kind, with the protocol checker attached, across refresh
+ * schedules, deterministic fault timelines, and the traffic subsystem,
+ * while actually skipping idle cycles where the workload allows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "kernels/runner.hh"
+#include "kernels/sweep.hh"
+#include "sim/sim_error.hh"
+#include "sim/simulation.hh"
+#include "traffic/traffic_runner.hh"
+
+namespace pva
+{
+namespace
+{
+
+constexpr std::uint32_t kElems = 256;
+
+/** Dump @p set with the "sim.*" gauges removed: simTicks and
+ *  cyclesSkipped legitimately differ between clocking modes, and
+ *  cyclesPerSecond is wall-clock noise. Everything else must match. */
+std::string
+filteredDump(const StatSet &set)
+{
+    std::ostringstream raw;
+    set.dump(raw);
+    std::istringstream in(raw.str());
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("sim.", 0) != 0)
+            out << line << '\n';
+    }
+    return out.str();
+}
+
+struct Outcome
+{
+    Cycle cycles = 0;
+    std::size_t mismatches = 0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t cyclesSkipped = 0;
+    std::string stats;
+};
+
+Outcome
+runKernelPoint(SystemKind kind, const SystemConfig &config,
+               KernelId kernel, std::uint32_t stride, ClockingMode mode)
+{
+    auto sys = makeSystem(kind, config);
+    const KernelSpec &spec = kernelSpec(kernel);
+    WorkloadConfig wl;
+    wl.stride = stride;
+    wl.elements = kElems;
+    wl.lineWords = config.bc.lineWords;
+    wl.streamBases = streamBases(alignmentPresets()[0],
+                                 spec.numStreams, stride, kElems);
+    RunLimits limits;
+    limits.clocking = mode;
+    RunResult r = runKernelOn(*sys, kernel, wl, limits);
+    return {r.cycles, r.mismatches, r.simTicks, r.cyclesSkipped,
+            filteredDump(sys->stats())};
+}
+
+void
+expectKernelParity(SystemKind kind, const SystemConfig &config,
+                   KernelId kernel, std::uint32_t stride)
+{
+    Outcome ex = runKernelPoint(kind, config, kernel, stride,
+                                ClockingMode::Exhaustive);
+    Outcome ev = runKernelPoint(kind, config, kernel, stride,
+                                ClockingMode::Event);
+    EXPECT_EQ(ex.cycles, ev.cycles)
+        << systemShortName(kind) << "/" << kernelSpec(kernel).name
+        << " stride " << stride;
+    EXPECT_EQ(ex.mismatches, ev.mismatches);
+    EXPECT_EQ(ev.mismatches, 0u);
+    EXPECT_EQ(ex.stats, ev.stats)
+        << systemShortName(kind) << "/" << kernelSpec(kernel).name
+        << " stride " << stride;
+    // The exhaustive stepper never skips; the event core accounts for
+    // every cycle either processed or skipped.
+    EXPECT_EQ(ex.cyclesSkipped, 0u);
+    EXPECT_EQ(ex.simTicks, static_cast<std::uint64_t>(ex.cycles));
+    EXPECT_EQ(ev.simTicks + ev.cyclesSkipped, ex.simTicks);
+}
+
+class EventClockingGrid : public ::testing::TestWithParam<SystemKind>
+{
+};
+
+TEST_P(EventClockingGrid, KernelsAreCycleExact)
+{
+    SystemConfig config;
+    config.timingCheck = true;
+    for (KernelId k : {KernelId::Copy, KernelId::Tridiag}) {
+        for (std::uint32_t stride : {1u, 16u, 19u})
+            expectKernelParity(GetParam(), config, k, stride);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, EventClockingGrid,
+                         ::testing::ValuesIn(allSystems()),
+                         [](const auto &info) {
+                             return std::string(
+                                 systemShortName(info.param));
+                         });
+
+TEST(EventClocking, RefreshScheduleIsCycleExact)
+{
+    SystemConfig config;
+    config.timingCheck = true;
+    config.timing.tREFI = 700; // deliberately off the default
+    for (SystemKind kind : {SystemKind::PvaSdram, SystemKind::CacheLine})
+        expectKernelParity(kind, config, KernelId::Copy, 19);
+}
+
+TEST(EventClocking, FaultTimelinesAreCycleExact)
+{
+    // Fault draws are per processed tick; the event core pins
+    // injected systems to every-cycle ticking so the RNG streams and
+    // the resulting fault timelines stay identical.
+    SystemConfig config;
+    config.timingCheck = true;
+    config.faults.seed = 11;
+    config.faults.refreshStallRate = 0.002;
+    config.faults.bcStallRate = 0.002;
+    expectKernelParity(SystemKind::PvaSdram, config, KernelId::Vaxpy,
+                       19);
+}
+
+TrafficConfig
+trafficConfig(ClockingMode mode, ArrivalMode arrivals, double rate)
+{
+    TrafficConfig tc;
+    tc.config.timingCheck = true;
+    tc.config.clocking = mode;
+    tc.arbiter.policy = ArbPolicy::Priority;
+    for (unsigned i = 0; i < 2; ++i) {
+        StreamConfig s;
+        s.mode = arrivals;
+        s.window = 2;
+        s.requestsPerKilocycle = rate;
+        s.requests = 48;
+        s.priority = i;
+        s.queueCapacity = 4;
+        s.seed = 1 + i;
+        s.pattern.regionBase = i * (1 << 20);
+        tc.streams.push_back(std::move(s));
+    }
+    return tc;
+}
+
+void
+expectTrafficParity(ArrivalMode arrivals, double rate)
+{
+    std::ostringstream ex_dump, ev_dump;
+    TrafficResult ex = runTraffic(
+        trafficConfig(ClockingMode::Exhaustive, arrivals, rate),
+        &ex_dump);
+    TrafficResult ev = runTraffic(
+        trafficConfig(ClockingMode::Event, arrivals, rate), &ev_dump);
+
+    EXPECT_EQ(ex.cycles, ev.cycles);
+    EXPECT_EQ(ex.completed, ev.completed);
+    EXPECT_EQ(ex.words, ev.words);
+    EXPECT_EQ(ex.meanInFlight, ev.meanInFlight);
+    EXPECT_EQ(ex.totalLatency.p99, ev.totalLatency.p99);
+    EXPECT_EQ(ex.queueDelay.mean, ev.queueDelay.mean);
+    ASSERT_EQ(ex.streams.size(), ev.streams.size());
+    for (std::size_t i = 0; i < ex.streams.size(); ++i) {
+        EXPECT_EQ(ex.streams[i].deferrals, ev.streams[i].deferrals);
+        EXPECT_EQ(ex.streams[i].queuePeak, ev.streams[i].queuePeak);
+        EXPECT_EQ(ex.streams[i].completed, ev.streams[i].completed);
+    }
+
+    // The dumps interleave ServiceStats and the system's StatSet;
+    // strip the clocking gauges from both before comparing.
+    auto filter = [](const std::string &text) {
+        std::istringstream in(text);
+        std::ostringstream out;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.rfind("sim.", 0) != 0)
+                out << line << '\n';
+        }
+        return out.str();
+    };
+    EXPECT_EQ(filter(ex_dump.str()), filter(ev_dump.str()));
+}
+
+TEST(EventClocking, ClosedLoopTrafficIsCycleExact)
+{
+    expectTrafficParity(ArrivalMode::ClosedLoop, 0.0);
+}
+
+TEST(EventClocking, OpenLoopTrafficIsCycleExact)
+{
+    expectTrafficParity(ArrivalMode::OpenLoop, 5.0);
+}
+
+TEST(EventClocking, LowLoadTrafficActuallySkips)
+{
+    // The headline win: at 0.2 req/kcycle the machine is idle almost
+    // always, and the event core must skip the vast majority of
+    // cycles, not just match the exhaustive stepper.
+    TrafficConfig tc =
+        trafficConfig(ClockingMode::Event, ArrivalMode::OpenLoop, 0.2);
+    TrafficResult r = runTraffic(tc);
+    EXPECT_GT(r.cycles, 100000u);
+    EXPECT_GT(r.cyclesSkipped, (r.cycles * 9) / 10);
+    EXPECT_LT(r.simTicks, r.cycles / 10);
+}
+
+/** A component that is quiescent for long stretches: wakes every
+ *  250 cycles and does nothing in between. */
+class SparseComponent : public Component
+{
+  public:
+    SparseComponent() : Component("sparse") {}
+    void tick(Cycle now) override { lastTick = now; }
+    Cycle nextWakeAfter(Cycle now) const override { return now + 250; }
+    Cycle lastTick = 0;
+};
+
+TEST(EventClocking, CycleWatchdogTripsAtTheSameCycle)
+{
+    // A wake beyond the cycle budget must not let the clock overshoot:
+    // the jump clamps to the limit and the watchdog reports the same
+    // cycle the exhaustive stepper would.
+    for (ClockingMode mode :
+         {ClockingMode::Exhaustive, ClockingMode::Event}) {
+        Simulation sim(mode);
+        SparseComponent comp;
+        sim.add(&comp);
+        EXPECT_THROW(sim.runUntil([] { return false; }, 100),
+                     SimError);
+        EXPECT_EQ(sim.now(), 100u);
+        if (mode == ClockingMode::Event) {
+            EXPECT_GT(sim.cyclesSkipped(), 0u);
+        }
+    }
+}
+
+TEST(EventClocking, ExternalWakesEndSkippedSpans)
+{
+    // requestWake() is how non-Component drivers (the traffic
+    // arbiter) get scheduled: a posted wake must bound the jump.
+    Simulation sim(ClockingMode::Event);
+    SparseComponent comp;
+    sim.add(&comp);
+    sim.requestWake(40);
+    std::size_t iterations = 0;
+    sim.runUntil([&] {
+        ++iterations;
+        return sim.now() >= 40;
+    });
+    EXPECT_EQ(sim.now(), 40u);
+    // 0 -> 40 -> done: the span [1, 39] is not processed.
+    EXPECT_EQ(iterations, 2u);
+    EXPECT_EQ(sim.cyclesSkipped(), 39u);
+}
+
+TEST(EventClocking, ModeNamesRoundTrip)
+{
+    ClockingMode mode = ClockingMode::Exhaustive;
+    EXPECT_TRUE(parseClockingMode("event", mode));
+    EXPECT_EQ(mode, ClockingMode::Event);
+    EXPECT_TRUE(parseClockingMode("exhaustive", mode));
+    EXPECT_EQ(mode, ClockingMode::Exhaustive);
+    EXPECT_FALSE(parseClockingMode("lazy", mode));
+    EXPECT_STREQ(clockingModeName(ClockingMode::Event), "event");
+    EXPECT_STREQ(clockingModeName(ClockingMode::Exhaustive),
+                 "exhaustive");
+}
+
+} // anonymous namespace
+} // namespace pva

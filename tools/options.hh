@@ -114,6 +114,11 @@ parseToolOptions(int argc, char **argv, const char *usage_text)
                 usage(usage_text);
         } else if (arg == "--refresh") {
             opts.config.timing.tREFI = nextNum();
+        } else if (arg == "--clocking") {
+            std::string mode = next();
+            if (!parseClockingMode(mode, opts.config.clocking))
+                fatal("--clocking expects 'exhaustive' or 'event', "
+                      "got '%s'", mode.c_str());
         } else if (arg == "--check") {
             opts.config.timingCheck = true;
         } else if (arg == "--fault-seed") {

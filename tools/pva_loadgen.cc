@@ -63,7 +63,8 @@ const char *kUsage =
     "                   [--indirect] [--trace FILE]\n"
     "                   [--system pva|cacheline|gathering|sram]\n"
     "                   [--banks N] [--interleave N] [--vcs N]\n"
-    "                   [--check] [--fault-seed N] [--fault-refresh R]\n"
+    "                   [--check] [--clocking exhaustive|event]\n"
+    "                   [--fault-seed N] [--fault-refresh R]\n"
     "                   [--fault-bc-stall R] [--fault-drop R]\n"
     "                   [--fault-corrupt R] [--load-sweep]\n"
     "                   [--loads A,B,C] [--systems a,b,c] [--jobs N]\n"
@@ -226,6 +227,11 @@ parseOptions(int argc, char **argv)
             opts.config.bc.vectorContexts = nextNum();
         } else if (arg == "--check") {
             opts.config.timingCheck = true;
+        } else if (arg == "--clocking") {
+            std::string mode = next();
+            if (!parseClockingMode(mode, opts.config.clocking))
+                fatal("--clocking expects 'exhaustive' or 'event', "
+                      "got '%s'", mode.c_str());
         } else if (arg == "--fault-seed") {
             opts.config.faults.seed = nextNum();
         } else if (arg == "--fault-refresh") {
@@ -358,6 +364,12 @@ runOnce(const LoadgenOptions &opts)
                 "mean in-flight %.2f, bc utilization %.1f%%\n",
                 r.requestsPerKilocycle, r.wordsPerCycle,
                 r.meanInFlight, 100.0 * r.bcUtilization);
+    std::printf("  clocking=%s simTicks=%llu cyclesSkipped=%llu "
+                "cyclesPerSecond=%llu\n",
+                clockingModeName(tc.config.clocking),
+                static_cast<unsigned long long>(r.simTicks),
+                static_cast<unsigned long long>(r.cyclesSkipped),
+                static_cast<unsigned long long>(r.cyclesPerSecond));
     auto line = [](const char *name, const LatencySummary &s) {
         std::printf("  %-8s mean %8.1f  p50 %6llu  p95 %6llu  "
                     "p99 %6llu  p999 %6llu  max %6llu\n",

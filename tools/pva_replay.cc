@@ -27,8 +27,8 @@ const char *kUsage =
     "usage: pva_replay [--system pva|cacheline|gathering|sram]\n"
     "                  [--banks N] [--interleave N] [--vcs N]\n"
     "                  [--row-policy managed|open|close]\n"
-    "                  [--refresh TREFI] [--stats] [--json]\n"
-    "                  [trace-file | - for stdin]\n";
+    "                  [--refresh TREFI] [--clocking exhaustive|event]\n"
+    "                  [--stats] [--json] [trace-file | - for stdin]\n";
 
 } // anonymous namespace
 
@@ -55,7 +55,7 @@ runReplay(int argc, char **argv)
         fatal("%s: %s", opts.tracePath.c_str(), error.c_str());
 
     auto sys = makeSystem(systemKindFor(opts), opts.config);
-    ReplayResult r = replayTrace(*sys, trace);
+    ReplayResult r = replayTrace(*sys, trace, opts.config.clocking);
     std::printf("%llu commands in %llu cycles, read checksum "
                 "%016llx\n",
                 static_cast<unsigned long long>(r.commands),

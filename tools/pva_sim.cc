@@ -46,6 +46,7 @@ const char *kUsage =
     "               [--elements N] [--banks N] [--interleave N]\n"
     "               [--vcs N] [--row-policy managed|open|close]\n"
     "               [--refresh TREFI] [--check]\n"
+    "               [--clocking exhaustive|event]\n"
     "               [--fault-seed N] [--fault-refresh R]\n"
     "               [--fault-bc-stall R] [--fault-drop R]\n"
     "               [--fault-corrupt R] [--retries N]\n"
@@ -92,6 +93,7 @@ runOnce(const ToolOptions &opts)
 
     auto sys = makeSystem(systemKindFor(opts), opts.config);
     RunLimits limits;
+    limits.clocking = opts.config.clocking;
     if (opts.pointTimeout > 0.0)
         limits.timeoutMillis = opts.pointTimeout;
     RunResult r = runKernelOn(*sys, kernel, wl, limits);
@@ -102,6 +104,12 @@ runOnce(const ToolOptions &opts)
                 opts.system.c_str(), opts.elements,
                 static_cast<unsigned long long>(r.cycles),
                 r.mismatches);
+    std::printf("clocking=%s simTicks=%llu cyclesSkipped=%llu "
+                "cyclesPerSecond=%llu\n",
+                clockingModeName(opts.config.clocking),
+                static_cast<unsigned long long>(r.simTicks),
+                static_cast<unsigned long long>(r.cyclesSkipped),
+                static_cast<unsigned long long>(r.cyclesPerSecond));
     if (opts.stats)
         sys->stats().dump(std::cout);
     if (opts.json)
