@@ -1,6 +1,7 @@
 #include "bus/vector_bus.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace pva
 {
@@ -24,8 +25,20 @@ VectorBus::drive(Cycle now, const BusRequest &req)
         req.opcode == BusOpcode::StageWrite) {
         freeAt = now + 1 + dataCycles();
         statDataCycles += dataCycles();
+        PVA_TRACE_BLOCK(
+            PVA_TRACE_BEGIN(traceTrackId, now,
+                            req.opcode == BusOpcode::StageRead
+                                ? "stage_read" : "stage_write",
+                            "txn", req.txn);
+            PVA_TRACE_END(traceTrackId, freeAt,
+                          req.opcode == BusOpcode::StageRead
+                              ? "stage_read" : "stage_write"););
     } else {
         freeAt = now + 1;
+        PVA_TRACE_INSTANT(traceTrackId, now,
+                          req.opcode == BusOpcode::VecRead
+                              ? "vec_read" : "vec_write",
+                          "txn", req.txn);
     }
 }
 

@@ -81,8 +81,14 @@ class VectorBus
 
     void registerStats(StatSet &set, const std::string &prefix) const;
 
+    /** @name Trace track handle (see sim/trace.hh; 0 = untraced) @{ */
+    void setTraceTrack(std::uint32_t id) { traceTrackId = id; }
+    std::uint32_t traceTrack() const { return traceTrackId; }
+    /** @} */
+
   private:
     unsigned lineWords;
+    std::uint32_t traceTrackId = 0;
     Cycle freeAt = 0;
     Cycle lastRequestCycle = kNeverCycle;
     BusRequest lastRequest{};

@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
+#include "sim/trace.hh"
 
 namespace pva
 {
@@ -87,6 +88,8 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
                             ? now + 1 + (cmd.length + 1) / 2
                             : now + 2;
         fifo.push_back(std::move(req));
+        PVA_TRACE_INSTANT(traceTrack(), now, "observe", "txn",
+                          cmd.txn, "elems", st.expected);
         return;
     }
 
@@ -120,6 +123,8 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
                             ? now + 2
                             : now + 2 + cfg.fhcLatency;
         fifo.push_back(std::move(req));
+        PVA_TRACE_INSTANT(traceTrack(), now, "observe", "txn",
+                          cmd.txn, "elems", st.expected);
         return;
     }
 
@@ -204,6 +209,8 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
     req.sub = sub;
     req.visibleAt = visible;
     fifo.push_back(std::move(req));
+    PVA_TRACE_INSTANT(traceTrack(), now, "fh_hit", "txn", cmd.txn,
+                      "elems", st.expected);
 }
 
 void
@@ -259,6 +266,10 @@ BankController::drainDeviceReturns(Cycle now)
         st.line[r.slot] = r.data;
         st.valid[r.slot] = true;
         ++st.got;
+        PVA_TRACE_BLOCK(
+            if (st.got >= st.expected)
+                PVA_TRACE_INSTANT(traceTrack(), now, "sub_complete",
+                                  "txn", r.txn););
     }
 }
 
@@ -306,6 +317,8 @@ BankController::maybeRecover(Cycle now)
             continue;
         ++statRecoveries;
         tickActivity = true;
+        PVA_TRACE_INSTANT(traceTrack(), now, "recover", "txn",
+                          vc.cmd.txn, "elems", vc.explicitAddrs.size());
         vcs.push_back(std::move(vc));
         (void)now;
     }
@@ -325,6 +338,9 @@ BankController::dequeueIntoVc(Cycle now)
 
     Request req = std::move(fifo.front());
     fifo.pop_front();
+
+    PVA_TRACE_INSTANT(traceTrack(), now, "vc_dequeue", "txn",
+                      req.cmd.txn);
 
     VectorContext vc;
     vc.cmd = req.cmd;
@@ -508,8 +524,15 @@ BankController::tryReadWrite(Cycle now)
                 lastDirRead = vc.cmd.isRead;
                 anyDirYet = true;
                 ++statElements;
-                if (!vc.cmd.isRead)
-                    ++staging[vc.cmd.txn].got; // committed to SDRAM
+                if (!vc.cmd.isRead) {
+                    Staging &wst = staging[vc.cmd.txn];
+                    ++wst.got; // committed to SDRAM
+                    PVA_TRACE_BLOCK(
+                        if (wst.got >= wst.expected)
+                            PVA_TRACE_INSTANT(traceTrack(), now,
+                                              "sub_complete", "txn",
+                                              vc.cmd.txn););
+                }
                 ++vc.issued;
                 if (vc.done())
                     vcs.erase(it);
@@ -535,6 +558,7 @@ BankController::tick(Cycle now)
         // bank-controller response). Returns were still drained; all
         // dequeue/issue work waits for the next cycle.
         ++statStallCycles;
+        PVA_TRACE_INSTANT(traceTrack(), now, "stall");
         statVcOccupancy += vcs.size();
         if (vcs.size() >= cfg.vectorContexts)
             ++statVcFullCycles;
@@ -561,6 +585,22 @@ BankController::tick(Cycle now)
     statFifoOccupancy += fifo.size();
     if (fifo.size() > statFifoPeak.value())
         statFifoPeak += fifo.size() - statFifoPeak.value();
+
+    PVA_TRACE_BLOCK(
+        // Occupancy counters, emitted only on change to bound the
+        // trace volume on long runs.
+        if (traceTrack() != 0) {
+            if (vcs.size() != traceLastVcs) {
+                traceLastVcs = vcs.size();
+                PVA_TRACE_COUNTER(traceTrack(), now, "vcs",
+                                  traceLastVcs);
+            }
+            if (fifo.size() != traceLastFifo) {
+                traceLastFifo = fifo.size();
+                PVA_TRACE_COUNTER(traceTrack(), now, "fifo",
+                                  traceLastFifo);
+            }
+        });
 }
 
 bool

@@ -290,6 +290,14 @@ class BankController : public Component
 
     bool lastDirRead = true; ///< SDRAM data bus polarity
     bool anyDirYet = false;
+
+    /** @name Trace occupancy caches
+     * Last counter values emitted, so the trace records occupancy
+     * only when it changes. Unused (but harmless) in untraced builds.
+     * @{ */
+    std::size_t traceLastVcs = SIZE_MAX;
+    std::size_t traceLastFifo = SIZE_MAX;
+    /** @} */
 };
 
 } // namespace pva

@@ -4,6 +4,7 @@
 #include "sdram/timing_checker.hh"
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
+#include "sim/trace.hh"
 
 namespace pva
 {
@@ -57,6 +58,27 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
                 ->registerStats(statSet, csprintf("dev%u", b));
         }
     }
+
+    PVA_TRACE_BLOCK(
+        // One trace "process" per memory system, one track per
+        // component. Registration happens once here; the hot paths
+        // only ever touch the resulting integer ids.
+        if (trace::TraceSession *s = trace::session()) {
+            const std::string &proc = this->name();
+            setTraceTrack(s->registerTrack(proc, "frontend"));
+            vectorBus.setTraceTrack(s->registerTrack(proc, "bus"));
+            txnTracks.assign(txns.size(), 0);
+            for (std::size_t i = 0; i < txns.size(); ++i) {
+                txnTracks[i] =
+                    s->registerTrack(proc, csprintf("txn%zu", i));
+            }
+            for (unsigned b = 0; b < banks; ++b) {
+                bcs[b]->setTraceTrack(
+                    s->registerTrack(proc, csprintf("bc%u", b)));
+                devices[b]->setTraceTrack(
+                    s->registerTrack(proc, csprintf("dev%u", b)));
+            }
+        });
 }
 
 PvaUnit::~PvaUnit() = default;
@@ -94,6 +116,9 @@ PvaUnit::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
             ++statReads;
         else
             ++statWrites;
+        PVA_TRACE_BEGIN(txnTrack(id), t.acceptedAt,
+                        cmd.isRead ? "read" : "write", "stride",
+                        cmd.stride, "len", cmd.length);
         return true;
     }
     return false;
@@ -127,6 +152,8 @@ PvaUnit::finishRead(std::uint8_t id, Cycle now)
     for (const auto &bc : bcs)
         bc->releaseTxn(id);
     t.state = TxnState::Free;
+    PVA_TRACE_END(txnTrack(id), now, "read", "latency",
+                  now - t.acceptedAt);
 }
 
 void
@@ -142,6 +169,8 @@ PvaUnit::finishWrite(std::uint8_t id, Cycle now)
     for (const auto &bc : bcs)
         bc->releaseTxn(id);
     t.state = TxnState::Free;
+    PVA_TRACE_END(txnTrack(id), now, "write", "latency",
+                  now - t.acceptedAt);
 }
 
 void
@@ -159,6 +188,7 @@ PvaUnit::tick(Cycle now)
             if (allBcsComplete(id)) {
                 t.state = TxnState::StagePending;
                 tickActivity = true;
+                PVA_TRACE_INSTANT(txnTrack(id), now, "gathered");
             }
             break;
           case TxnState::Staging:
@@ -202,6 +232,7 @@ PvaUnit::tick(Cycle now)
             txns[chosen].state = TxnState::Staging;
             txns[chosen].readyAt = now + vectorBus.dataCycles();
             tickActivity = true;
+            PVA_TRACE_INSTANT(txnTrack(chosen), now, "stage");
         } else {
             // Priority 2: broadcast VEC_WRITE for writes whose data
             // cycles have finished.
@@ -221,6 +252,7 @@ PvaUnit::tick(Cycle now)
                     bc->observeVecCommand(now, t.cmd);
                 t.state = TxnState::Scattering;
                 tickActivity = true;
+                PVA_TRACE_INSTANT(txnTrack(chosen), now, "scatter");
             } else if (!submitOrder.empty()) {
                 // Priority 3: start the oldest queued command.
                 std::uint8_t id = submitOrder.front();
@@ -234,6 +266,7 @@ PvaUnit::tick(Cycle now)
                         bc->observeVecCommand(now, t.cmd);
                     t.state = TxnState::Gathering;
                     tickActivity = true;
+                    PVA_TRACE_INSTANT(txnTrack(id), now, "broadcast");
                 } else if (t.state == TxnState::QueuedWrite) {
                     submitOrder.pop_front();
                     vectorBus.drive(now,
@@ -243,6 +276,7 @@ PvaUnit::tick(Cycle now)
                     t.state = TxnState::WriteData;
                     t.readyAt = now + vectorBus.dataCycles();
                     tickActivity = true;
+                    PVA_TRACE_INSTANT(txnTrack(id), now, "write_data");
                 }
             }
         }
@@ -259,6 +293,12 @@ PvaUnit::tick(Cycle now)
         ++statCtxFullCycles;
     lastProcessedTick = now;
     tickedYet = true;
+
+    PVA_TRACE_BLOCK(
+        if (traceTrack() != 0 && active != traceLastActive) {
+            traceLastActive = active;
+            PVA_TRACE_COUNTER(traceTrack(), now, "inFlight", active);
+        });
 }
 
 void

@@ -104,6 +104,13 @@ class PvaUnit : public MemorySystem
     /** All BCs finished transaction @p id (the wired-OR line). */
     bool allBcsComplete(std::uint8_t id) const;
 
+    /** Trace track for transaction slot @p id (0 when untraced). */
+    std::uint32_t
+    txnTrack(std::uint8_t id) const
+    {
+        return id < txnTracks.size() ? txnTracks[id] : 0;
+    }
+
     void finishRead(std::uint8_t id, Cycle now);
     void finishWrite(std::uint8_t id, Cycle now);
 
@@ -128,6 +135,11 @@ class PvaUnit : public MemorySystem
     Cycle lastProcessedTick = 0; ///< Last cycle tick() actually ran
     bool tickedYet = false;
     bool tickActivity = false; ///< Did the last tick change state?
+
+    /** Per-transaction-slot trace tracks; empty when untraced. */
+    std::vector<std::uint32_t> txnTracks;
+    /** Last in-flight count traced (counter emitted on change only). */
+    std::size_t traceLastActive = SIZE_MAX;
     Distribution statReadLatency{4};  ///< Submit-to-data, 4-cycle buckets
     Distribution statWriteLatency{4}; ///< Submit-to-commit
 };

@@ -3,6 +3,7 @@
 #include "sdram/timing_checker.hh"
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
+#include "sim/trace.hh"
 
 namespace pva
 {
@@ -36,6 +37,13 @@ SdramDevice::dataCycleOf(const DeviceOp &op, Cycle now) const
 void
 SdramDevice::applyRefresh(Cycle now)
 {
+    PVA_TRACE_BLOCK(
+        // Only a refresh starting from idle opens a span; an overlap
+        // extension would nest B/E pairs on the track.
+        if (refreshBusyUntil <= now) {
+            PVA_TRACE_BEGIN(traceTrack(), now, "refresh");
+            PVA_TRACE_END(traceTrack(), now + times.tRFC, "refresh");
+        });
     refreshBusyUntil = std::max(refreshBusyUntil, now + times.tRFC);
     for (InternalBank &ib : ibanks) {
         ib.open = false;
@@ -180,6 +188,8 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
         ib.prechargeReadyAt = now + times.tRAS;
         ib.activateReadyAt = now + times.tRC;
         ++statActivates;
+        PVA_TRACE_INSTANT(traceTrack(), now, "activate", "ibank",
+                          c.internalBank, "row", c.row);
         break;
       }
       case DeviceOp::Kind::Precharge: {
@@ -188,6 +198,8 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
         ib.activateReadyAt =
             std::max(ib.activateReadyAt, now + times.tRP);
         ++statPrecharges;
+        PVA_TRACE_INSTANT(traceTrack(), now, "precharge", "ibank",
+                          op.internalBank);
         break;
       }
       case DeviceOp::Kind::Read:
@@ -196,6 +208,12 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
         InternalBank &ib = ibanks[c.internalBank];
         bool is_read = op.kind == DeviceOp::Kind::Read;
         Cycle data = dataCycleOf(op, now);
+        PVA_TRACE_BLOCK(
+            if (anyDataYet && is_read != lastDataWasRead)
+                PVA_TRACE_INSTANT(traceTrack(), now, "turnaround");
+            PVA_TRACE_INSTANT(traceTrack(), now,
+                              is_read ? "cas_read" : "cas_write",
+                              "txn", op.txn, "data", data););
         lastDataCycle = data;
         lastDataWasRead = is_read;
         anyDataYet = true;
@@ -230,6 +248,8 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
             ib.activateReadyAt =
                 std::max(ib.activateReadyAt, internal_start + times.tRP);
             ++statPrecharges;
+            PVA_TRACE_INSTANT(traceTrack(), now, "auto_precharge",
+                              "ibank", c.internalBank);
         }
         break;
       }

@@ -80,8 +80,22 @@ class Component
     /** Instance name, used in stats and diagnostics. */
     const std::string &name() const { return componentName; }
 
+    /**
+     * @name Trace track handle
+     * The owning system assigns each component a trace track id at
+     * construction (sim/trace.hh); 0 means untraced — either tracing
+     * is off, no session is installed, or the component was excluded
+     * by --trace-filter. Plain data, present in all builds, so wiring
+     * code needs no conditional compilation.
+     * @{
+     */
+    void setTraceTrack(std::uint32_t id) { traceTrackId = id; }
+    std::uint32_t traceTrack() const { return traceTrackId; }
+    /** @} */
+
   private:
     std::string componentName;
+    std::uint32_t traceTrackId = 0;
 };
 
 } // namespace pva

@@ -5,6 +5,7 @@
 
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
+#include "sim/trace.hh"
 
 namespace pva
 {
@@ -38,6 +39,13 @@ class WallTimer
 };
 
 } // anonymous namespace
+
+Simulation::Simulation(ClockingMode mode) : mode(mode)
+{
+    PVA_TRACE_BLOCK(
+        if (trace::TraceSession *s = trace::session())
+            traceTrackId = s->registerTrack("sim", "clock"););
+}
 
 void
 Simulation::step()
@@ -133,12 +141,23 @@ Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
         Cycle next = currentCycle + 1;
         if (mode == ClockingMode::Event) {
             next = kNeverCycle;
-            for (const Component *c : components)
-                next = std::min(next, c->nextWakeAfter(currentCycle));
+            // Track the argmin so the trace can attribute the wake;
+            // ties keep the first (registration-order) component,
+            // matching the old std::min fold exactly.
+            const Component *waker = nullptr;
+            for (const Component *c : components) {
+                Cycle w = c->nextWakeAfter(currentCycle);
+                if (w < next) {
+                    next = w;
+                    waker = c;
+                }
+            }
             while (!wakeHeap.empty() && wakeHeap.top() <= currentCycle)
                 wakeHeap.pop();
-            if (!wakeHeap.empty())
-                next = std::min(next, wakeHeap.top());
+            if (!wakeHeap.empty() && wakeHeap.top() < next) {
+                next = wakeHeap.top();
+                waker = nullptr; // external wake (run predicate)
+            }
             // No pending wake anywhere: the model is deadlocked. Step
             // one cycle at a time so the watchdogs fire exactly as
             // they would under the exhaustive stepper.
@@ -149,6 +168,22 @@ Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
             if (next <= currentCycle)
                 next = currentCycle + 1;
             skippedCycles += next - currentCycle - 1;
+            PVA_TRACE_BLOCK(
+                if (trace::session() && next > currentCycle + 1) {
+                    Cycle skipped = next - currentCycle - 1;
+                    PVA_TRACE_INSTANT(traceTrackId, currentCycle,
+                                      "skip", "cycles", skipped, "to",
+                                      next);
+                    if (waker) {
+                        PVA_TRACE_INSTANT(waker->traceTrack(), next,
+                                          "wake", "skipped", skipped);
+                    } else {
+                        PVA_TRACE_INSTANT(traceTrackId, next,
+                                          "extern_wake", "skipped",
+                                          skipped);
+                    }
+                });
+            (void)waker;
         }
         cycles_since += next - currentCycle;
         ++iters_since;

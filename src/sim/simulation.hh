@@ -38,9 +38,7 @@ namespace pva
 class Simulation
 {
   public:
-    explicit Simulation(ClockingMode mode = ClockingMode::Event)
-        : mode(mode)
-    {}
+    explicit Simulation(ClockingMode mode = ClockingMode::Event);
 
     /** Register a component. Order of registration is tick order. */
     void add(Component *c) { components.push_back(c); }
@@ -115,6 +113,9 @@ class Simulation
     std::uint64_t ticksProcessed = 0;
     std::uint64_t skippedCycles = 0;
     double accumWallMillis = 0.0;
+
+    /** Trace track for clock/wake decisions ("sim" process). */
+    std::uint32_t traceTrackId = 0;
 };
 
 } // namespace pva

@@ -107,6 +107,13 @@ LogHistogram::reset()
     counts.clear();
 }
 
+void
+LogHistogram::preallocate()
+{
+    if (counts.empty())
+        counts.assign(kBucketCount, 0);
+}
+
 double
 LogHistogram::mean() const
 {

@@ -87,6 +87,13 @@ class LogHistogram
     void sample(std::uint64_t value);
     void reset();
 
+    /**
+     * Allocate the bucket array now instead of on the first sample.
+     * Hot-path callers (ServiceStats, per-cycle hooks) preallocate at
+     * construction so sample() never allocates mid-run.
+     */
+    void preallocate();
+
     std::uint64_t samples() const { return sampleCount; }
     std::uint64_t minValue() const { return minSeen; }
     std::uint64_t maxValue() const { return maxSeen; }

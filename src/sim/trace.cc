@@ -1,0 +1,228 @@
+#include "sim/trace.hh"
+
+#if PVA_TRACE_ENABLED
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+namespace pva::trace
+{
+
+namespace
+{
+
+std::atomic<TraceSession *> currentSession{nullptr};
+
+/** Escape a registry string for JSON (names in events are literals). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+} // anonymous namespace
+
+TraceSession *
+session()
+{
+    return currentSession.load(std::memory_order_acquire);
+}
+
+void
+setSession(TraceSession *s)
+{
+    currentSession.store(s, std::memory_order_release);
+}
+
+bool
+globMatch(const char *pattern, const char *text)
+{
+    // Iterative glob with single-star backtracking.
+    const char *star = nullptr;
+    const char *resume = nullptr;
+    while (*text) {
+        if (*pattern == '*') {
+            star = pattern++;
+            resume = text;
+        } else if (*pattern == '?' || *pattern == *text) {
+            ++pattern;
+            ++text;
+        } else if (star) {
+            pattern = star + 1;
+            text = ++resume;
+        } else {
+            return false;
+        }
+    }
+    while (*pattern == '*')
+        ++pattern;
+    return *pattern == '\0';
+}
+
+TraceSession::TraceSession(TraceConfig config) : cfg(std::move(config))
+{
+    // Pre-reserve the whole buffer so record() never allocates.
+    if (cfg.bufferCapacity == 0)
+        cfg.bufferCapacity = 1;
+    buffer.resize(cfg.bufferCapacity);
+}
+
+std::uint32_t
+TraceSession::registerTrack(const std::string &process,
+                            const std::string &track)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        if (tracks[i].process == process && tracks[i].track == track)
+            return static_cast<std::uint32_t>(i + 1);
+    }
+    if (!cfg.filter.empty()) {
+        // Comma-separated globs, matched against "track" and
+        // "process/track"; no match disables the track (id 0).
+        std::string qualified = process + "/" + track;
+        bool matched = false;
+        std::size_t begin = 0;
+        while (begin <= cfg.filter.size() && !matched) {
+            std::size_t end = cfg.filter.find(',', begin);
+            if (end == std::string::npos)
+                end = cfg.filter.size();
+            std::string pat = cfg.filter.substr(begin, end - begin);
+            if (!pat.empty() &&
+                (globMatch(pat.c_str(), track.c_str()) ||
+                 globMatch(pat.c_str(), qualified.c_str())))
+                matched = true;
+            begin = end + 1;
+        }
+        if (!matched)
+            return 0;
+    }
+    std::uint32_t pid = 0;
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+        if (processes[i] == process)
+            pid = static_cast<std::uint32_t>(i + 1);
+    }
+    if (pid == 0) {
+        processes.push_back(process);
+        pid = static_cast<std::uint32_t>(processes.size());
+    }
+    tracks.push_back(TrackMeta{process, track, pid});
+    return static_cast<std::uint32_t>(tracks.size());
+}
+
+std::uint64_t
+TraceSession::recorded() const
+{
+    std::uint64_t h = head.load(std::memory_order_relaxed);
+    return std::min<std::uint64_t>(h, buffer.size());
+}
+
+std::uint64_t
+TraceSession::dropped() const
+{
+    std::uint64_t h = head.load(std::memory_order_relaxed);
+    return h > buffer.size() ? h - buffer.size() : 0;
+}
+
+std::size_t
+TraceSession::trackCount() const
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    return tracks.size();
+}
+
+std::vector<Event>
+TraceSession::snapshot() const
+{
+    return std::vector<Event>(buffer.begin(),
+                              buffer.begin() + recorded());
+}
+
+void
+TraceSession::exportChromeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    const std::size_t n = static_cast<std::size_t>(recorded());
+
+    // Stable sort by timestamp: Perfetto wants non-decreasing ts, and
+    // record order breaks ties so B precedes E within one cycle.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return buffer[a].ts < buffer[b].ts;
+                     });
+
+    os << "{\n\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&]() {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+
+    // Metadata: names for every process and enabled track.
+    for (std::size_t p = 0; p < processes.size(); ++p) {
+        sep();
+        os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+           << (p + 1) << ", \"tid\": 0, \"args\": {\"name\": ";
+        writeJsonString(os, processes[p]);
+        os << "}}";
+    }
+    for (std::size_t t = 0; t < tracks.size(); ++t) {
+        sep();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+           << tracks[t].pid << ", \"tid\": " << (t + 1)
+           << ", \"args\": {\"name\": ";
+        writeJsonString(os, tracks[t].track);
+        os << "}}";
+    }
+
+    for (std::uint32_t idx : order) {
+        const Event &e = buffer[idx];
+        if (e.track == 0 || e.track > tracks.size())
+            continue; // defensive: never emit an unmapped tid
+        const TrackMeta &meta = tracks[e.track - 1];
+        sep();
+        os << "{\"name\": \"" << (e.name ? e.name : "?")
+           << "\", \"ph\": \"" << static_cast<char>(e.phase)
+           << "\", \"ts\": " << e.ts << ", \"pid\": " << meta.pid
+           << ", \"tid\": " << e.track;
+        if (e.phase == Phase::Instant)
+            os << ", \"s\": \"t\"";
+        if (e.key1 || e.key2) {
+            os << ", \"args\": {";
+            if (e.key1)
+                os << "\"" << e.key1 << "\": " << e.val1;
+            if (e.key2)
+                os << (e.key1 ? ", " : "") << "\"" << e.key2
+                   << "\": " << e.val2;
+            os << "}";
+        }
+        os << "}";
+    }
+
+    os << "\n],\n\"displayTimeUnit\": \"ms\",\n\"pvaTrace\": "
+       << "{\"schemaVersion\": 1, \"recorded\": " << recorded()
+       << ", \"dropped\": " << dropped()
+       << ", \"tracks\": " << tracks.size() << "}\n}\n";
+}
+
+} // namespace pva::trace
+
+#endif // PVA_TRACE_ENABLED

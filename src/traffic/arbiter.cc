@@ -1,5 +1,7 @@
 #include "traffic/arbiter.hh"
 
+#include "sim/trace.hh"
+
 namespace pva
 {
 
@@ -145,6 +147,8 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
         stats.onComplete(f.stream, now - f.submitted, now - f.arrival,
                          f.words, f.isRead);
         sources[f.stream].onComplete();
+        PVA_TRACE_INSTANT(traceTrackId, now, "complete", "stream",
+                          f.stream, "latency", now - f.arrival);
         inFlight.erase(it);
         changed = true;
     }
@@ -165,10 +169,14 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
             queues[i].push_back(src.emit(now));
             stats.onArrival(i);
             stats.onQueueDepth(i, queues[i].size());
+            PVA_TRACE_INSTANT(traceTrackId, now, "enqueue", "stream",
+                              i, "depth", queues[i].size());
             changed = true;
         }
-        if (deferred)
+        if (deferred) {
             stats.onDeferred(i);
+            PVA_TRACE_INSTANT(traceTrackId, now, "defer", "stream", i);
+        }
         wasDeferred[i] = deferred;
     }
 
@@ -186,6 +194,8 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
             tag, InFlight{chosen, req.arrival, now, req.cmd.length,
                           req.cmd.isRead});
         stats.onSubmit(chosen, now - req.arrival);
+        PVA_TRACE_INSTANT(traceTrackId, now, "grant", "stream",
+                          chosen, "waited", now - req.arrival);
         queues[chosen].pop_front();
         lastGranted = chosen;
         changed = true;

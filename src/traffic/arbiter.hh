@@ -118,6 +118,11 @@ class StreamArbiter
         return queues[i].size();
     }
 
+    /** @name Trace track handle (see sim/trace.hh; 0 = untraced) @{ */
+    void setTraceTrack(std::uint32_t id) { traceTrackId = id; }
+    std::uint32_t traceTrack() const { return traceTrackId; }
+    /** @} */
+
   private:
     /** Pick the next stream to grant; returns false if all empty. */
     bool pick(Cycle now, unsigned &out) const;
@@ -138,6 +143,7 @@ class StreamArbiter
     std::unordered_map<std::uint64_t, InFlight> inFlight;
     std::uint64_t nextTag = 0;
     unsigned lastGranted = 0; ///< RoundRobin cursor
+    std::uint32_t traceTrackId = 0;
 
     /** @name Event-clocking bookkeeping
      * service() records what the step did so nextWake() and the next

@@ -20,6 +20,10 @@ summarize(const LogHistogram &h)
 
 ServiceStats::ServiceStats(const std::vector<std::string> &names)
 {
+    // All traffic metrics live under the "traffic." namespace so the
+    // tools' JSON envelope carries one predictable key shape (see
+    // docs/API.md). Histograms are preallocated here so the per-cycle
+    // hooks (onSubmit/onComplete, gap credits) never allocate.
     auto registerOne = [&](const std::string &prefix,
                            StreamCounters &c) {
         statSet.addScalar(prefix + ".arrivals", &c.arrivals);
@@ -33,16 +37,19 @@ ServiceStats::ServiceStats(const std::vector<std::string> &names)
         statSet.addHistogram(prefix + ".serviceLatency",
                              &c.serviceLatency);
         statSet.addHistogram(prefix + ".totalLatency", &c.totalLatency);
+        c.queueDelay.preallocate();
+        c.serviceLatency.preallocate();
+        c.totalLatency.preallocate();
     };
 
     perStream.reserve(names.size());
     for (const std::string &name : names) {
         perStream.push_back(std::make_unique<StreamCounters>());
-        registerOne(name, *perStream.back());
+        registerOne("traffic." + name, *perStream.back());
     }
-    registerOne("agg", aggregate);
-    statSet.addScalar("agg.cycles", &statCycles);
-    statSet.addScalar("agg.occupancySum", &statOccupancySum);
+    registerOne("traffic.agg", aggregate);
+    statSet.addScalar("traffic.agg.cycles", &statCycles);
+    statSet.addScalar("traffic.agg.occupancySum", &statOccupancySum);
 }
 
 void

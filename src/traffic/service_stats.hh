@@ -13,9 +13,9 @@
  *
  * — plus per-cycle samples of the memory system's in-flight
  * transaction count (Vector Context occupancy on the PVA). Everything
- * registers into one StatSet ("s<i>.*" per stream, "agg.*" aggregate),
- * so text/JSON dumps come for free and tests can assert on named
- * values.
+ * registers into one StatSet ("traffic.<name>.*" per stream,
+ * "traffic.agg.*" aggregate), so text/JSON dumps come for free and
+ * tests can assert on named values.
  */
 
 #ifndef PVA_TRAFFIC_SERVICE_STATS_HH

@@ -7,6 +7,7 @@
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
 #include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace pva
 {
@@ -95,6 +96,10 @@ runTraffic(const TrafficConfig &config, std::ostream *stats_dump)
     ServiceStats stats(names);
     StreamArbiter arbiter(config.arbiter, std::move(sources), stats);
     arbiter.applyPokes(sys->memory());
+    PVA_TRACE_BLOCK(
+        if (trace::TraceSession *ts = trace::session())
+            arbiter.setTraceTrack(
+                ts->registerTrack("traffic", "arbiter")););
 
     Simulation sim(config.config.clocking);
     sim.add(sys.get());
@@ -154,8 +159,9 @@ runTraffic(const TrafficConfig &config, std::ostream *stats_dump)
         s.completed = stats.completed(i);
         s.deferrals = stats.deferrals(i);
         s.queuePeak = stats.queuePeak(i);
-        s.words = stats.set().scalar(names[i] + ".wordsRead") +
-                  stats.set().scalar(names[i] + ".wordsWritten");
+        s.words =
+            stats.set().scalar("traffic." + names[i] + ".wordsRead") +
+            stats.set().scalar("traffic." + names[i] + ".wordsWritten");
         s.queueDelay = stats.queueDelay(i);
         s.serviceLatency = stats.serviceLatency(i);
         s.totalLatency = stats.totalLatency(i);

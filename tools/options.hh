@@ -1,18 +1,18 @@
 /**
  * @file
- * Shared command-line parsing for the pva tools.
+ * Shared option state for the pva tools.
  *
- * Both pva_sim and pva_replay accept the same flag vocabulary; the
- * parser fills one SystemConfig (system construction knobs) plus the
- * workload selection (kernel, stride, alignment, elements) and tool
- * behaviour flags (--stats, --json, --sweep, --jobs, trace path).
+ * ToolOptions is the knob bag pva_sim and pva_replay fill through the
+ * ToolApp flag layer (tools/tool_app.hh): one SystemConfig (system
+ * construction knobs) plus the workload selection (kernel, stride,
+ * alignment, elements) and tool behaviour flags. The helpers map the
+ * --system/--kernel names onto the simulator's enums and build the
+ * workload for a selected grid point.
  */
 
 #ifndef PVA_TOOLS_OPTIONS_HH
 #define PVA_TOOLS_OPTIONS_HH
 
-#include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "core/system_config.hh"
@@ -31,7 +31,7 @@ struct ToolOptions
     unsigned alignment = 0;
     std::uint32_t elements = 1024;
     bool stats = false;     ///< Dump the stat set as text after the run
-    bool json = false;      ///< Dump the stat set as JSON after the run
+    bool json = false;      ///< Emit the JSON envelope (docs/API.md)
     bool sweep = false;     ///< pva_sim: run the full chapter 6 grid
     unsigned jobs = 0;      ///< Sweep workers (0 = hardware threads)
     unsigned retries = 3;   ///< Sweep attempt budget per point
@@ -39,123 +39,6 @@ struct ToolOptions
     std::string tracePath = "-"; ///< pva_replay positional argument
     SystemConfig config{};
 };
-
-[[noreturn]] inline void
-usage(const char *text)
-{
-    std::fputs(text, stderr);
-    std::exit(2);
-}
-
-/**
- * Parse argv into a ToolOptions, exiting with @p usage_text on any
- * unknown flag. A bare non-flag argument is taken as the trace path.
- */
-inline ToolOptions
-parseToolOptions(int argc, char **argv, const char *usage_text)
-{
-    ToolOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (++i >= argc)
-                usage(usage_text);
-            return argv[i];
-        };
-        // Numeric flag values must be wholly numeric; fatal beats an
-        // uncaught std::invalid_argument out of std::stoul.
-        auto nextNum = [&]() -> unsigned long {
-            std::string value = next();
-            char *end = nullptr;
-            unsigned long n = std::strtoul(value.c_str(), &end, 10);
-            if (value.empty() || *end != '\0')
-                fatal("%s expects a number, got '%s'", arg.c_str(),
-                      value.c_str());
-            return n;
-        };
-        auto nextReal = [&]() -> double {
-            std::string value = next();
-            char *end = nullptr;
-            double d = std::strtod(value.c_str(), &end);
-            if (value.empty() || *end != '\0')
-                fatal("%s expects a number, got '%s'", arg.c_str(),
-                      value.c_str());
-            return d;
-        };
-        if (arg == "--kernel") {
-            opts.kernel = next();
-        } else if (arg == "--stride") {
-            opts.stride = nextNum();
-        } else if (arg == "--alignment") {
-            opts.alignment = nextNum();
-        } else if (arg == "--system") {
-            opts.system = next();
-        } else if (arg == "--elements") {
-            opts.elements = nextNum();
-        } else if (arg == "--banks") {
-            opts.config.geometry =
-                Geometry(nextNum(),
-                         opts.config.geometry.interleave());
-        } else if (arg == "--interleave") {
-            opts.config.geometry =
-                Geometry(opts.config.geometry.banks(),
-                         nextNum());
-        } else if (arg == "--vcs") {
-            opts.config.bc.vectorContexts = nextNum();
-        } else if (arg == "--row-policy") {
-            std::string p = next();
-            if (p == "managed")
-                opts.config.bc.rowPolicy = RowPolicy::Managed;
-            else if (p == "open")
-                opts.config.bc.rowPolicy = RowPolicy::AlwaysOpen;
-            else if (p == "close")
-                opts.config.bc.rowPolicy = RowPolicy::AlwaysClose;
-            else
-                usage(usage_text);
-        } else if (arg == "--refresh") {
-            opts.config.timing.tREFI = nextNum();
-        } else if (arg == "--clocking") {
-            std::string mode = next();
-            if (!parseClockingMode(mode, opts.config.clocking))
-                fatal("--clocking expects 'exhaustive' or 'event', "
-                      "got '%s'", mode.c_str());
-        } else if (arg == "--check") {
-            opts.config.timingCheck = true;
-        } else if (arg == "--fault-seed") {
-            opts.config.faults.seed = nextNum();
-        } else if (arg == "--fault-refresh") {
-            opts.config.faults.refreshStallRate = nextReal();
-        } else if (arg == "--fault-bc-stall") {
-            opts.config.faults.bcStallRate = nextReal();
-        } else if (arg == "--fault-drop") {
-            opts.config.faults.dropTransferRate = nextReal();
-        } else if (arg == "--fault-corrupt") {
-            opts.config.faults.corruptFirstHitRate = nextReal();
-        } else if (arg == "--retries") {
-            opts.retries = nextNum();
-        } else if (arg == "--point-timeout") {
-            opts.pointTimeout = nextReal();
-        } else if (arg == "--stats") {
-            opts.stats = true;
-        } else if (arg == "--json") {
-            opts.json = true;
-        } else if (arg == "--sweep") {
-            opts.sweep = true;
-        } else if (arg == "--jobs") {
-            opts.jobs = nextNum();
-        } else if (!arg.empty() && arg[0] != '-') {
-            opts.tracePath = arg;
-        } else if (arg == "-") {
-            opts.tracePath = arg;
-        } else {
-            usage(usage_text);
-        }
-    }
-    // Fail fast on unsupportable knob combinations (throws
-    // SimError(Config); the tools' main() catches and reports it).
-    opts.config.validate();
-    return opts;
-}
 
 /** Map the --system name to a SystemKind; fatal on unknown names. */
 inline SystemKind

@@ -2,27 +2,10 @@
  * @file
  * pva_loadgen — multi-stream traffic driver (docs/TRAFFIC.md).
  *
- * Usage:
- *   pva_loadgen [--streams N] [--policy fifo|rr|priority] [--aging N]
- *               [--mode closed|open] [--window N] [--rate R]
- *               [--requests N] [--seed S] [--queue-cap N]
- *               [--priority-ramp] [--read-frac F]
- *               [--min-stride N] [--max-stride N]
- *               [--min-length N] [--max-length N] [--region-words N]
- *               [--indirect] [--trace FILE]
- *               [--system pva|cacheline|gathering|sram]
- *               [--banks N] [--interleave N] [--vcs N] [--check]
- *               [--fault-seed N] [--fault-refresh R]
- *               [--fault-bc-stall R] [--fault-drop R]
- *               [--fault-corrupt R]
- *               [--load-sweep] [--loads A,B,C] [--systems a,b,c]
- *               [--jobs N] [--retries N] [--max-cycles N]
- *               [--point-timeout MS] [--stats] [--json] [--csv]
- *
  * Default: one traffic run (closed-loop, 4 streams, FIFO arbitration)
- * on the selected system; prints a human-readable service summary, or
- * the full per-stream JSON with --json, or the whole registered stat
- * set with --stats.
+ * on the selected system; prints a human-readable service summary,
+ * the versioned JSON envelope with --json (docs/API.md), a CSV row
+ * with --csv, or the whole registered stat set with --stats.
  *
  * With --load-sweep: forces every stream open-loop and runs the
  * offered-load ladder (--loads, aggregate requests per kilocycle)
@@ -34,6 +17,13 @@
  * Stream i gets seed (--seed + i) and, with --priority-ramp,
  * priority i (stream N-1 most urgent) for exercising the priority
  * policy's starvation guard.
+ *
+ * Shared flags (system knobs, --clocking, --check, --fault-*,
+ * --stats/--json, --trace-*) come from the ToolApp layer
+ * (tools/tool_app.hh) with the same vocabulary as pva_sim and
+ * pva_replay; run `pva_loadgen --help` for the generated list.
+ * --trace-out writes a Chrome/Perfetto event trace of the run
+ * (docs/OBSERVABILITY.md, needs a PVA_TRACE=ON build).
  */
 
 #include <cstdio>
@@ -44,40 +34,14 @@
 
 #include "core/system_config.hh"
 #include "sim/logging.hh"
-#include "sim/sim_error.hh"
+#include "tool_app.hh"
 #include "traffic/traffic_runner.hh"
 
 using namespace pva;
+using namespace pva::tools;
 
 namespace
 {
-
-const char *kUsage =
-    "usage: pva_loadgen [--streams N] [--policy fifo|rr|priority]\n"
-    "                   [--aging N] [--mode closed|open] [--window N]\n"
-    "                   [--rate R] [--requests N] [--seed S]\n"
-    "                   [--queue-cap N] [--priority-ramp]\n"
-    "                   [--read-frac F] [--min-stride N]\n"
-    "                   [--max-stride N] [--min-length N]\n"
-    "                   [--max-length N] [--region-words N]\n"
-    "                   [--indirect] [--trace FILE]\n"
-    "                   [--system pva|cacheline|gathering|sram]\n"
-    "                   [--banks N] [--interleave N] [--vcs N]\n"
-    "                   [--check] [--clocking exhaustive|event]\n"
-    "                   [--fault-seed N] [--fault-refresh R]\n"
-    "                   [--fault-bc-stall R] [--fault-drop R]\n"
-    "                   [--fault-corrupt R] [--load-sweep]\n"
-    "                   [--loads A,B,C] [--systems a,b,c] [--jobs N]\n"
-    "                   [--retries N] [--max-cycles N]\n"
-    "                   [--point-timeout MS] [--stats] [--json]\n"
-    "                   [--csv]\n";
-
-[[noreturn]] void
-usage()
-{
-    std::fputs(kUsage, stderr);
-    std::exit(2);
-}
 
 /** Everything one pva_loadgen invocation configures. */
 struct LoadgenOptions
@@ -135,125 +99,75 @@ splitCommas(const std::string &list)
     return out;
 }
 
-LoadgenOptions
-parseOptions(int argc, char **argv)
+void
+addLoadgenFlags(ToolApp &app, LoadgenOptions &opts)
 {
-    LoadgenOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (++i >= argc)
-                usage();
-            return argv[i];
-        };
-        auto nextNum = [&]() -> unsigned long long {
-            std::string value = next();
-            char *end = nullptr;
-            unsigned long long n =
-                std::strtoull(value.c_str(), &end, 10);
-            if (value.empty() || *end != '\0')
-                fatal("%s expects a number, got '%s'", arg.c_str(),
-                      value.c_str());
-            return n;
-        };
-        auto nextReal = [&]() -> double {
-            std::string value = next();
-            char *end = nullptr;
-            double d = std::strtod(value.c_str(), &end);
-            if (value.empty() || *end != '\0')
-                fatal("%s expects a number, got '%s'", arg.c_str(),
-                      value.c_str());
-            return d;
-        };
-        if (arg == "--streams") {
-            opts.streams = nextNum();
-        } else if (arg == "--policy") {
-            opts.policy = next();
-        } else if (arg == "--aging") {
-            opts.aging = nextNum();
-        } else if (arg == "--mode") {
-            opts.mode = next();
-        } else if (arg == "--window") {
-            opts.window = nextNum();
-        } else if (arg == "--rate") {
-            opts.rate = nextReal();
-        } else if (arg == "--requests") {
-            opts.requests = nextNum();
-        } else if (arg == "--seed") {
-            opts.seed = nextNum();
-        } else if (arg == "--queue-cap") {
-            opts.queueCap = nextNum();
-        } else if (arg == "--priority-ramp") {
-            opts.priorityRamp = true;
-        } else if (arg == "--read-frac") {
-            opts.pattern.readFraction = nextReal();
-        } else if (arg == "--min-stride") {
-            opts.pattern.minStride = nextNum();
-        } else if (arg == "--max-stride") {
-            opts.pattern.maxStride = nextNum();
-        } else if (arg == "--min-length") {
-            opts.pattern.minLength = nextNum();
-        } else if (arg == "--max-length") {
-            opts.pattern.maxLength = nextNum();
-        } else if (arg == "--region-words") {
-            opts.pattern.regionWords = nextNum();
-        } else if (arg == "--indirect") {
-            opts.pattern.mode = VectorCommand::Mode::Indirect;
-        } else if (arg == "--trace") {
-            opts.tracePath = next();
-        } else if (arg == "--system") {
-            opts.system = next();
-        } else if (arg == "--systems") {
-            opts.systems = next();
-        } else if (arg == "--load-sweep") {
-            opts.loadSweep = true;
-        } else if (arg == "--loads") {
-            opts.loads = next();
-        } else if (arg == "--jobs") {
-            opts.jobs = nextNum();
-        } else if (arg == "--retries") {
-            opts.retries = nextNum();
-        } else if (arg == "--max-cycles") {
-            opts.maxCycles = nextNum();
-        } else if (arg == "--point-timeout") {
-            opts.pointTimeout = nextReal();
-        } else if (arg == "--banks") {
-            opts.config.geometry =
-                Geometry(nextNum(), opts.config.geometry.interleave());
-        } else if (arg == "--interleave") {
-            opts.config.geometry =
-                Geometry(opts.config.geometry.banks(), nextNum());
-        } else if (arg == "--vcs") {
-            opts.config.bc.vectorContexts = nextNum();
-        } else if (arg == "--check") {
-            opts.config.timingCheck = true;
-        } else if (arg == "--clocking") {
-            std::string mode = next();
-            if (!parseClockingMode(mode, opts.config.clocking))
-                fatal("--clocking expects 'exhaustive' or 'event', "
-                      "got '%s'", mode.c_str());
-        } else if (arg == "--fault-seed") {
-            opts.config.faults.seed = nextNum();
-        } else if (arg == "--fault-refresh") {
-            opts.config.faults.refreshStallRate = nextReal();
-        } else if (arg == "--fault-bc-stall") {
-            opts.config.faults.bcStallRate = nextReal();
-        } else if (arg == "--fault-drop") {
-            opts.config.faults.dropTransferRate = nextReal();
-        } else if (arg == "--fault-corrupt") {
-            opts.config.faults.corruptFirstHitRate = nextReal();
-        } else if (arg == "--stats") {
-            opts.stats = true;
-        } else if (arg == "--json") {
-            opts.json = true;
-        } else if (arg == "--csv") {
-            opts.csv = true;
-        } else {
-            usage();
-        }
-    }
-    opts.config.validate();
-    return opts;
+    app.numOption("--streams", "N", "concurrent request streams",
+                  [&opts](unsigned long long n) { opts.streams = n; });
+    app.option("--policy", "fifo|rr|priority", "arbitration policy",
+               [&opts](const std::string &v) { opts.policy = v; });
+    app.numOption("--aging", "N", "priority aging threshold (cycles)",
+                  [&opts](unsigned long long n) { opts.aging = n; });
+    app.option("--mode", "closed|open", "arrival process",
+               [&opts](const std::string &v) { opts.mode = v; });
+    app.numOption("--window", "N", "closed-loop window per stream",
+                  [&opts](unsigned long long n) { opts.window = n; });
+    app.realOption("--rate", "R",
+                   "per-stream open-loop rate (req/kilocycle)",
+                   [&opts](double d) { opts.rate = d; });
+    app.numOption("--requests", "N", "requests per stream",
+                  [&opts](unsigned long long n) { opts.requests = n; });
+    app.numOption("--seed", "S", "base pattern seed (stream i: S+i)",
+                  [&opts](unsigned long long n) { opts.seed = n; });
+    app.numOption("--queue-cap", "N", "per-stream admission queue cap",
+                  [&opts](unsigned long long n) { opts.queueCap = n; });
+    app.flag("--priority-ramp",
+             "give stream i priority i (N-1 most urgent)",
+             [&opts] { opts.priorityRamp = true; });
+    app.realOption("--read-frac", "F", "fraction of reads in 0..1",
+                   [&opts](double d) { opts.pattern.readFraction = d; });
+    app.numOption("--min-stride", "N", "minimum generated stride",
+                  [&opts](unsigned long long n) {
+                      opts.pattern.minStride = n;
+                  });
+    app.numOption("--max-stride", "N", "maximum generated stride",
+                  [&opts](unsigned long long n) {
+                      opts.pattern.maxStride = n;
+                  });
+    app.numOption("--min-length", "N", "minimum vector length",
+                  [&opts](unsigned long long n) {
+                      opts.pattern.minLength = n;
+                  });
+    app.numOption("--max-length", "N", "maximum vector length",
+                  [&opts](unsigned long long n) {
+                      opts.pattern.maxLength = n;
+                  });
+    app.numOption("--region-words", "N", "address region per stream",
+                  [&opts](unsigned long long n) {
+                      opts.pattern.regionWords = n;
+                  });
+    app.flag("--indirect", "generate indirect (vector-indexed) accesses",
+             [&opts] {
+                 opts.pattern.mode = VectorCommand::Mode::Indirect;
+             });
+    app.option("--trace", "FILE", "replay stream arrivals from FILE",
+               [&opts](const std::string &v) { opts.tracePath = v; });
+    app.option("--system", "pva|cacheline|gathering|sram",
+               "memory system under test",
+               [&opts](const std::string &v) { opts.system = v; });
+    app.option("--systems", "a,b,c", "systems for --load-sweep",
+               [&opts](const std::string &v) { opts.systems = v; });
+    app.flag("--load-sweep", "run the offered-load ladder",
+             [&opts] { opts.loadSweep = true; });
+    app.option("--loads", "A,B,C",
+               "offered loads (aggregate req/kilocycle)",
+               [&opts](const std::string &v) { opts.loads = v; });
+    app.numOption("--max-cycles", "N", "per-run simulated-cycle budget",
+                  [&opts](unsigned long long n) {
+                      opts.maxCycles = n;
+                  });
+    app.flag("--csv", "emit the run as a load-curve CSV row",
+             [&opts] { opts.csv = true; });
 }
 
 TrafficConfig
@@ -300,7 +214,7 @@ trafficConfigFor(const LoadgenOptions &opts)
 }
 
 int
-runSweep(const LoadgenOptions &opts)
+runSweep(const ToolApp &app, const LoadgenOptions &opts)
 {
     LoadSweepConfig sc;
     sc.base = trafficConfigFor(opts);
@@ -313,10 +227,16 @@ runSweep(const LoadgenOptions &opts)
     sc.retries = opts.retries;
 
     std::vector<LoadPoint> points = runLoadSweep(sc);
-    if (opts.json)
-        writeLoadJson(std::cout, points);
-    else
+    if (opts.json) {
+        JsonEnvelope env(std::cout, app, opts.config,
+                         {{"loads", jsonQuote(opts.loads)},
+                          {"systems", jsonQuote(opts.systems)},
+                          {"streams", std::to_string(opts.streams)}});
+        writeLoadJson(env.section("loadSweep"), points);
+        env.traceSection(app);
+    } else {
         writeLoadCsv(std::cout, points);
+    }
 
     bool clean = true;
     for (const LoadPoint &p : points) {
@@ -332,15 +252,22 @@ runSweep(const LoadgenOptions &opts)
 }
 
 int
-runOnce(const LoadgenOptions &opts)
+runOnce(const ToolApp &app, const LoadgenOptions &opts)
 {
     TrafficConfig tc = trafficConfigFor(opts);
     TrafficResult r =
         runTraffic(tc, opts.stats ? &std::cerr : nullptr);
 
     if (opts.json) {
-        r.dumpJson(std::cout);
-        std::cout << '\n';
+        JsonEnvelope env(
+            std::cout, app, opts.config,
+            {{"system", jsonQuote(opts.system)},
+             {"policy", jsonQuote(opts.policy)},
+             {"mode", jsonQuote(opts.mode)},
+             {"streams", std::to_string(opts.streams)},
+             {"requests", std::to_string(opts.requests)}});
+        r.dumpJson(env.section("traffic"));
+        env.traceSection(app);
         return 0;
     }
     if (opts.csv) {
@@ -402,14 +329,16 @@ runOnce(const LoadgenOptions &opts)
 int
 main(int argc, char **argv)
 {
-    try {
-        LoadgenOptions opts = parseOptions(argc, argv);
-        return opts.loadSweep ? runSweep(opts) : runOnce(opts);
-    } catch (const SimError &e) {
-        std::fprintf(stderr, "fatal: %s\n", e.what());
-        return 1;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "fatal: %s\n", e.what());
-        return 1;
-    }
+    LoadgenOptions opts;
+    ToolApp app("pva_loadgen");
+    addLoadgenFlags(app, opts);
+    app.addSystemFlags(opts.config);
+    app.addExecutorFlags(opts.jobs, opts.retries, opts.pointTimeout);
+    app.addOutputFlags(opts.stats, opts.json);
+    app.addTraceFlags();
+    app.parse(argc, argv);
+    return app.run([&] {
+        return opts.loadSweep ? runSweep(app, opts)
+                              : runOnce(app, opts);
+    });
 }

@@ -3,10 +3,13 @@
  * pva_replay — replay a vector-command trace file against a memory
  * system (see src/kernels/trace_file.hh for the format).
  *
- * Usage: pva_replay [--system pva|cacheline|gathering|sram]
- *                   [--banks N] [--interleave N] [--vcs N]
- *                   [--row-policy managed|open|close] [--refresh TREFI]
- *                   [--stats] [--json] [trace-file | - for stdin]
+ * Flags come from the shared ToolApp layer (tools/tool_app.hh) with
+ * the same system/fault/trace vocabulary as pva_sim and pva_loadgen;
+ * run `pva_replay --help` for the generated list. The one positional
+ * argument is the trace file ('-' or absent reads stdin). --json
+ * emits the versioned JSON envelope of docs/API.md; --trace-out
+ * writes a Chrome/Perfetto event trace of the replay
+ * (docs/OBSERVABILITY.md, needs a PVA_TRACE=ON build).
  */
 
 #include <cstdio>
@@ -15,7 +18,7 @@
 
 #include "kernels/trace_file.hh"
 #include "options.hh"
-#include "sim/sim_error.hh"
+#include "tool_app.hh"
 
 using namespace pva;
 using namespace pva::tools;
@@ -23,23 +26,9 @@ using namespace pva::tools;
 namespace
 {
 
-const char *kUsage =
-    "usage: pva_replay [--system pva|cacheline|gathering|sram]\n"
-    "                  [--banks N] [--interleave N] [--vcs N]\n"
-    "                  [--row-policy managed|open|close]\n"
-    "                  [--refresh TREFI] [--clocking exhaustive|event]\n"
-    "                  [--stats] [--json] [trace-file | - for stdin]\n";
-
-} // anonymous namespace
-
-namespace
-{
-
 int
-runReplay(int argc, char **argv)
+runReplay(const ToolApp &app, const ToolOptions &opts)
 {
-    ToolOptions opts = parseToolOptions(argc, argv, kUsage);
-
     TraceFile trace;
     std::string error;
     bool ok;
@@ -56,15 +45,28 @@ runReplay(int argc, char **argv)
 
     auto sys = makeSystem(systemKindFor(opts), opts.config);
     ReplayResult r = replayTrace(*sys, trace, opts.config.clocking);
-    std::printf("%llu commands in %llu cycles, read checksum "
-                "%016llx\n",
-                static_cast<unsigned long long>(r.commands),
-                static_cast<unsigned long long>(r.cycles),
-                static_cast<unsigned long long>(r.readChecksum));
+    if (opts.json) {
+        JsonEnvelope env(std::cout, app, opts.config,
+                         {{"system", jsonQuote(opts.system)},
+                          {"traceFile", jsonQuote(opts.tracePath)}});
+        env.section("replay")
+            << "{\"commands\": " << r.commands
+            << ", \"cycles\": " << r.cycles << ", \"readChecksum\": "
+            << jsonQuote(csprintf("%016llx",
+                                  static_cast<unsigned long long>(
+                                      r.readChecksum)))
+            << "}";
+        sys->stats().dumpJson(env.section("stats"));
+        env.traceSection(app);
+    } else {
+        std::printf("%llu commands in %llu cycles, read checksum "
+                    "%016llx\n",
+                    static_cast<unsigned long long>(r.commands),
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.readChecksum));
+    }
     if (opts.stats)
-        sys->stats().dump(std::cout);
-    if (opts.json)
-        sys->stats().dumpJson(std::cout);
+        sys->stats().dump(opts.json ? std::cerr : std::cout);
     return 0;
 }
 
@@ -73,10 +75,18 @@ runReplay(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    try {
-        return runReplay(argc, argv);
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "fatal: %s\n", e.what());
-        return 1;
-    }
+    ToolOptions opts;
+    ToolApp app("pva_replay");
+    app.option("--system", "pva|cacheline|gathering|sram",
+               "memory system under test",
+               [&opts](const std::string &v) { opts.system = v; });
+    app.addSystemFlags(opts.config);
+    app.addOutputFlags(opts.stats, opts.json);
+    app.addTraceFlags();
+    app.positional("[trace-file | - for stdin]",
+                   [&opts](const std::string &v) {
+                       opts.tracePath = v;
+                   });
+    app.parse(argc, argv);
+    return app.run([&] { return runReplay(app, opts); });
 }

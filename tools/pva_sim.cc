@@ -2,23 +2,19 @@
  * @file
  * pva_sim — command-line driver for the kernel harness.
  *
- * Usage:
- *   pva_sim [--kernel NAME] [--stride N] [--alignment N]
- *           [--system pva|cacheline|gathering|sram] [--elements N]
- *           [--banks N] [--interleave N] [--vcs N]
- *           [--row-policy managed|open|close] [--refresh TREFI]
- *           [--check] [--fault-seed N] [--fault-refresh R]
- *           [--fault-bc-stall R] [--fault-drop R] [--fault-corrupt R]
- *           [--retries N] [--point-timeout MS]
- *           [--stats] [--json] [--sweep] [--jobs N]
- *
- * Runs one grid point and prints the cycle count (and optionally the
- * full statistics dump, as text or JSON). With no arguments: copy,
- * stride 19, aligned, on the PVA prototype. With --sweep: runs the
+ * Runs one grid point and prints the cycle count, or with --sweep the
  * full chapter 6 grid (under the configured system knobs) on a worker
- * pool and writes the CSV rows to stdout; each point is isolated by
- * the executor's retry/watchdog harness and the final SweepReport
- * accounts for every point (printed as JSON to stderr with --json).
+ * pool, writing the CSV rows to stdout; each point is isolated by the
+ * executor's retry/watchdog harness and the final SweepReport
+ * accounts for every point.
+ *
+ * Flags come from the shared ToolApp layer (tools/tool_app.hh), so
+ * the vocabulary matches pva_replay and pva_loadgen; run `pva_sim
+ * --help` for the generated list. --json replaces the human-readable
+ * lines with one versioned JSON envelope (docs/API.md) on stdout
+ * (single run) or stderr (--sweep, keeping the CSV on stdout);
+ * --trace-out writes a Chrome/Perfetto event trace of the run
+ * (docs/OBSERVABILITY.md, needs a PVA_TRACE=ON build).
  *
  * --check attaches the redundant TimingChecker; --fault-* enable
  * deterministic fault injection (see docs/ROBUSTNESS.md). Structured
@@ -32,7 +28,7 @@
 #include "kernels/runner.hh"
 #include "kernels/sweep_executor.hh"
 #include "options.hh"
-#include "sim/sim_error.hh"
+#include "tool_app.hh"
 
 using namespace pva;
 using namespace pva::tools;
@@ -40,21 +36,8 @@ using namespace pva::tools;
 namespace
 {
 
-const char *kUsage =
-    "usage: pva_sim [--kernel NAME] [--stride N] [--alignment 0-4]\n"
-    "               [--system pva|cacheline|gathering|sram]\n"
-    "               [--elements N] [--banks N] [--interleave N]\n"
-    "               [--vcs N] [--row-policy managed|open|close]\n"
-    "               [--refresh TREFI] [--check]\n"
-    "               [--clocking exhaustive|event]\n"
-    "               [--fault-seed N] [--fault-refresh R]\n"
-    "               [--fault-bc-stall R] [--fault-drop R]\n"
-    "               [--fault-corrupt R] [--retries N]\n"
-    "               [--point-timeout MS] [--stats] [--json]\n"
-    "               [--sweep] [--jobs N]\n";
-
 int
-runSweep(const ToolOptions &opts)
+runSweep(const ToolApp &app, const ToolOptions &opts)
 {
     SweepExecutor executor(opts.jobs);
     executor.setMaxAttempts(opts.retries);
@@ -76,8 +59,13 @@ runSweep(const ToolOptions &opts)
     if (opts.stats)
         executor.stats().dump(std::cerr);
     if (opts.json) {
-        executor.stats().dumpJson(std::cerr);
-        report.dumpJson(std::cerr);
+        // The CSV owns stdout under --sweep; the envelope goes to
+        // stderr so both can be captured independently.
+        JsonEnvelope env(std::cerr, app, opts.config,
+                         {{"elements", std::to_string(opts.elements)}});
+        executor.stats().dumpJson(env.section("stats"));
+        report.dumpJson(env.section("sweep"));
+        env.traceSection(app);
     }
     bool clean = report.allOk() &&
                  executor.stats().scalar("sweep.mismatches") == 0;
@@ -85,7 +73,7 @@ runSweep(const ToolOptions &opts)
 }
 
 int
-runOnce(const ToolOptions &opts)
+runOnce(const ToolApp &app, const ToolOptions &opts)
 {
     KernelId kernel = kernelFor(opts);
     const KernelSpec &spec = kernelSpec(kernel);
@@ -97,23 +85,39 @@ runOnce(const ToolOptions &opts)
     if (opts.pointTimeout > 0.0)
         limits.timeoutMillis = opts.pointTimeout;
     RunResult r = runKernelOn(*sys, kernel, wl, limits);
-    std::printf("%s stride=%u alignment=%s system=%s elements=%u: "
-                "%llu cycles, %zu mismatches\n",
-                spec.name.c_str(), opts.stride,
-                alignmentPresets()[opts.alignment].name.c_str(),
-                opts.system.c_str(), opts.elements,
-                static_cast<unsigned long long>(r.cycles),
-                r.mismatches);
-    std::printf("clocking=%s simTicks=%llu cyclesSkipped=%llu "
-                "cyclesPerSecond=%llu\n",
-                clockingModeName(opts.config.clocking),
-                static_cast<unsigned long long>(r.simTicks),
-                static_cast<unsigned long long>(r.cyclesSkipped),
-                static_cast<unsigned long long>(r.cyclesPerSecond));
+    if (opts.json) {
+        JsonEnvelope env(
+            std::cout, app, opts.config,
+            {{"kernel", jsonQuote(spec.name)},
+             {"system", jsonQuote(opts.system)},
+             {"stride", std::to_string(opts.stride)},
+             {"alignment", std::to_string(opts.alignment)},
+             {"elements", std::to_string(opts.elements)}});
+        env.section("run")
+            << "{\"cycles\": " << r.cycles
+            << ", \"mismatches\": " << r.mismatches
+            << ", \"simTicks\": " << r.simTicks
+            << ", \"cyclesSkipped\": " << r.cyclesSkipped
+            << ", \"cyclesPerSecond\": " << r.cyclesPerSecond << "}";
+        sys->stats().dumpJson(env.section("stats"));
+        env.traceSection(app);
+    } else {
+        std::printf("%s stride=%u alignment=%s system=%s elements=%u: "
+                    "%llu cycles, %zu mismatches\n",
+                    spec.name.c_str(), opts.stride,
+                    alignmentPresets()[opts.alignment].name.c_str(),
+                    opts.system.c_str(), opts.elements,
+                    static_cast<unsigned long long>(r.cycles),
+                    r.mismatches);
+        std::printf("clocking=%s simTicks=%llu cyclesSkipped=%llu "
+                    "cyclesPerSecond=%llu\n",
+                    clockingModeName(opts.config.clocking),
+                    static_cast<unsigned long long>(r.simTicks),
+                    static_cast<unsigned long long>(r.cyclesSkipped),
+                    static_cast<unsigned long long>(r.cyclesPerSecond));
+    }
     if (opts.stats)
-        sys->stats().dump(std::cout);
-    if (opts.json)
-        sys->stats().dumpJson(std::cout);
+        sys->stats().dump(opts.json ? std::cerr : std::cout);
     return r.mismatches == 0 ? 0 : 1;
 }
 
@@ -122,14 +126,17 @@ runOnce(const ToolOptions &opts)
 int
 main(int argc, char **argv)
 {
-    try {
-        ToolOptions opts = parseToolOptions(argc, argv, kUsage);
-        return opts.sweep ? runSweep(opts) : runOnce(opts);
-    } catch (const SimError &e) {
-        std::fprintf(stderr, "fatal: %s\n", e.what());
-        return 1;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "fatal: %s\n", e.what());
-        return 1;
-    }
+    ToolOptions opts;
+    ToolApp app("pva_sim");
+    app.addWorkloadFlags(opts);
+    app.addSystemFlags(opts.config);
+    app.flag("--sweep", "run the full chapter 6 grid",
+             [&opts] { opts.sweep = true; });
+    app.addExecutorFlags(opts.jobs, opts.retries, opts.pointTimeout);
+    app.addOutputFlags(opts.stats, opts.json);
+    app.addTraceFlags();
+    app.parse(argc, argv);
+    return app.run([&] {
+        return opts.sweep ? runSweep(app, opts) : runOnce(app, opts);
+    });
 }

@@ -1,0 +1,470 @@
+#include "tool_app.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "sim/sim_error.hh"
+#include "sim/trace.hh"
+
+namespace pva::tools
+{
+
+namespace
+{
+
+const char *
+rowPolicyName(RowPolicy policy)
+{
+    switch (policy) {
+      case RowPolicy::Managed: return "managed";
+      case RowPolicy::AlwaysOpen: return "open";
+      case RowPolicy::AlwaysClose: return "close";
+    }
+    return "?";
+}
+
+unsigned long long
+parseNum(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0')
+        fatal("%s expects a number, got '%s'", flag.c_str(),
+              value.c_str());
+    return n;
+}
+
+double
+parseReal(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    double d = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0')
+        fatal("%s expects a number, got '%s'", flag.c_str(),
+              value.c_str());
+    return d;
+}
+
+} // anonymous namespace
+
+/**
+ * The live trace session, kept behind a pointer so untraced builds
+ * need no trace types at all and ToolApp's layout is identical in
+ * both configurations.
+ */
+struct ToolApp::TraceState
+{
+#if PVA_TRACE_ENABLED
+    std::optional<trace::TraceSession> session;
+#endif
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+};
+
+ToolApp::ToolApp(std::string tool_name)
+    : name(std::move(tool_name)),
+      traceState(std::make_unique<TraceState>())
+{
+}
+
+ToolApp::~ToolApp() = default;
+
+void
+ToolApp::flag(const char *flag_name, const char *help,
+              std::function<void()> handler)
+{
+    Spec s;
+    s.name = flag_name;
+    s.help = help;
+    s.takesValue = false;
+    s.apply = [handler = std::move(handler)](const std::string &,
+                                             const std::string &) {
+        handler();
+    };
+    specs.push_back(std::move(s));
+}
+
+void
+ToolApp::option(const char *flag_name, const char *metavar,
+                const char *help,
+                std::function<void(const std::string &)> handler)
+{
+    Spec s;
+    s.name = flag_name;
+    s.metavar = metavar;
+    s.help = help;
+    s.takesValue = true;
+    s.apply = [handler = std::move(handler)](const std::string &,
+                                             const std::string &v) {
+        handler(v);
+    };
+    specs.push_back(std::move(s));
+}
+
+void
+ToolApp::numOption(const char *flag_name, const char *metavar,
+                   const char *help,
+                   std::function<void(unsigned long long)> handler)
+{
+    Spec s;
+    s.name = flag_name;
+    s.metavar = metavar;
+    s.help = help;
+    s.takesValue = true;
+    s.apply = [handler = std::move(handler)](const std::string &f,
+                                             const std::string &v) {
+        handler(parseNum(f, v));
+    };
+    specs.push_back(std::move(s));
+}
+
+void
+ToolApp::realOption(const char *flag_name, const char *metavar,
+                    const char *help,
+                    std::function<void(double)> handler)
+{
+    Spec s;
+    s.name = flag_name;
+    s.metavar = metavar;
+    s.help = help;
+    s.takesValue = true;
+    s.apply = [handler = std::move(handler)](const std::string &f,
+                                             const std::string &v) {
+        handler(parseReal(f, v));
+    };
+    specs.push_back(std::move(s));
+}
+
+void
+ToolApp::positional(const char *metavar,
+                    std::function<void(const std::string &)> handler)
+{
+    positionalMetavar = metavar;
+    positionalHandler = std::move(handler);
+}
+
+void
+ToolApp::addSystemFlags(SystemConfig &config)
+{
+    configToValidate = &config;
+    numOption("--banks", "N", "external bank count (power of two)",
+              [&config](unsigned long long n) {
+                  config.geometry =
+                      Geometry(n, config.geometry.interleave());
+              });
+    numOption("--interleave", "N",
+              "words per consecutive block in one bank",
+              [&config](unsigned long long n) {
+                  config.geometry =
+                      Geometry(config.geometry.banks(), n);
+              });
+    numOption("--vcs", "N", "vector contexts per bank controller",
+              [&config](unsigned long long n) {
+                  config.bc.vectorContexts = n;
+              });
+    option("--row-policy", "managed|open|close",
+           "bank-controller row management policy",
+           [this, &config](const std::string &p) {
+               if (p == "managed")
+                   config.bc.rowPolicy = RowPolicy::Managed;
+               else if (p == "open")
+                   config.bc.rowPolicy = RowPolicy::AlwaysOpen;
+               else if (p == "close")
+                   config.bc.rowPolicy = RowPolicy::AlwaysClose;
+               else
+                   usage();
+           });
+    numOption("--refresh", "TREFI",
+              "auto-refresh interval in cycles (0 = off)",
+              [&config](unsigned long long n) {
+                  config.timing.tREFI = n;
+              });
+    option("--clocking", "exhaustive|event",
+           "simulation clocking discipline",
+           [&config](const std::string &mode) {
+               if (!parseClockingMode(mode, config.clocking))
+                   fatal("--clocking expects 'exhaustive' or "
+                         "'event', got '%s'", mode.c_str());
+           });
+    flag("--check", "attach the redundant timing/data checker",
+         [&config] { config.timingCheck = true; });
+    numOption("--fault-seed", "N", "fault-injection RNG seed",
+              [&config](unsigned long long n) {
+                  config.faults.seed = n;
+              });
+    realOption("--fault-refresh", "R", "refresh-stall fault rate",
+               [&config](double r) {
+                   config.faults.refreshStallRate = r;
+               });
+    realOption("--fault-bc-stall", "R",
+               "bank-controller stall fault rate",
+               [&config](double r) { config.faults.bcStallRate = r; });
+    realOption("--fault-drop", "R", "dropped-transfer fault rate",
+               [&config](double r) {
+                   config.faults.dropTransferRate = r;
+               });
+    realOption("--fault-corrupt", "R", "FirstHit corruption fault rate",
+               [&config](double r) {
+                   config.faults.corruptFirstHitRate = r;
+               });
+}
+
+void
+ToolApp::addWorkloadFlags(ToolOptions &opts)
+{
+    option("--kernel", "NAME",
+           "benchmark kernel (copy saxpy scale swap tridiag vaxpy "
+           "copy2 scale2)",
+           [&opts](const std::string &v) { opts.kernel = v; });
+    numOption("--stride", "N", "element stride in words",
+              [&opts](unsigned long long n) { opts.stride = n; });
+    numOption("--alignment", "0-4", "stream base alignment preset",
+              [&opts](unsigned long long n) { opts.alignment = n; });
+    option("--system", "pva|cacheline|gathering|sram",
+           "memory system under test",
+           [&opts](const std::string &v) { opts.system = v; });
+    numOption("--elements", "N", "vector elements per stream",
+              [&opts](unsigned long long n) { opts.elements = n; });
+}
+
+void
+ToolApp::addExecutorFlags(unsigned &jobs, unsigned &retries,
+                          double &point_timeout)
+{
+    numOption("--jobs", "N", "sweep workers (0 = hardware threads)",
+              [&jobs](unsigned long long n) { jobs = n; });
+    numOption("--retries", "N", "attempt budget per sweep point",
+              [&retries](unsigned long long n) { retries = n; });
+    realOption("--point-timeout", "MS",
+               "per-point wall-clock watchdog in milliseconds",
+               [&point_timeout](double d) { point_timeout = d; });
+}
+
+void
+ToolApp::addOutputFlags(bool &stats, bool &json)
+{
+    flag("--stats", "dump the full stat set as text",
+         [&stats] { stats = true; });
+    flag("--json", "emit the versioned JSON envelope (docs/API.md)",
+         [&json] { json = true; });
+}
+
+void
+ToolApp::addTraceFlags()
+{
+    traceFlagsAdded = true;
+    option("--trace-out", "FILE",
+           "write a Chrome/Perfetto event trace (needs PVA_TRACE=ON)",
+           [this](const std::string &v) { trace.outPath = v; });
+    option("--trace-filter", "GLOBS",
+           "comma-separated track globs, e.g. 'bc*,pva/frontend'",
+           [this](const std::string &v) { trace.filter = v; });
+    numOption("--trace-buffer", "N",
+              "trace buffer capacity in events (drops beyond)",
+              [this](unsigned long long n) {
+                  trace.bufferCap = n;
+              });
+}
+
+const ToolApp::Spec *
+ToolApp::find(const std::string &flag) const
+{
+    for (const Spec &s : specs) {
+        if (s.name == flag)
+            return &s;
+    }
+    return nullptr;
+}
+
+void
+ToolApp::parse(int argc, char **argv)
+{
+    // Flag handlers and validate() can throw SimError(Config) (e.g.
+    // the Geometry constructor on a non-power-of-two --banks); parse
+    // runs before run()'s catch, so turn those into the same clean
+    // one-line fatal here.
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h")
+                usage();
+            bool isFlag =
+                arg.size() >= 2 && arg[0] == '-' && arg[1] == '-';
+            if (!isFlag && positionalHandler) {
+                positionalHandler(arg);
+                continue;
+            }
+            const Spec *spec = find(arg);
+            if (!spec)
+                usage();
+            if (!spec->takesValue) {
+                spec->apply(arg, std::string());
+                continue;
+            }
+            if (++i >= argc)
+                usage();
+            spec->apply(arg, argv[i]);
+        }
+        // Fail fast on unsupportable knob combinations.
+        if (configToValidate)
+            configToValidate->validate();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        std::exit(1);
+    }
+}
+
+void
+ToolApp::usage() const
+{
+    std::fprintf(stderr, "usage: %s [options]%s%s\n",
+                 name.c_str(), positionalMetavar.empty() ? "" : " ",
+                 positionalMetavar.c_str());
+    for (const Spec &s : specs) {
+        std::string head = s.name;
+        if (s.takesValue)
+            head += " " + s.metavar;
+        std::fprintf(stderr, "  %-28s %s\n", head.c_str(),
+                     s.help.c_str());
+    }
+    std::exit(2);
+}
+
+int
+ToolApp::run(const std::function<int()> &body)
+{
+#if PVA_TRACE_ENABLED
+    if (trace.active()) {
+        trace::TraceConfig tc;
+        tc.bufferCapacity = trace.bufferCap;
+        tc.filter = trace.filter;
+        traceState->session.emplace(tc);
+        trace::setSession(&*traceState->session);
+    }
+#else
+    if (trace.active())
+        fatal("--trace-out needs a traced build; configure with "
+              "-DPVA_TRACE=ON");
+#endif
+
+    int rc;
+    try {
+        rc = body();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+
+#if PVA_TRACE_ENABLED
+    if (traceState->session) {
+        trace::setSession(nullptr);
+        trace::TraceSession &s = *traceState->session;
+        traceState->recorded = s.recorded();
+        traceState->dropped = s.dropped();
+        std::ofstream out(trace.outPath);
+        if (!out)
+            fatal("cannot open '%s'", trace.outPath.c_str());
+        s.exportChromeJson(out);
+        inform("trace: %llu events (%llu dropped) on %zu tracks -> %s",
+               static_cast<unsigned long long>(traceState->recorded),
+               static_cast<unsigned long long>(traceState->dropped),
+               s.trackCount(), trace.outPath.c_str());
+        traceState->session.reset();
+    }
+#endif
+    return rc;
+}
+
+std::uint64_t
+ToolApp::traceRecorded() const
+{
+#if PVA_TRACE_ENABLED
+    if (traceState->session)
+        return traceState->session->recorded();
+#endif
+    return traceState->recorded;
+}
+
+std::uint64_t
+ToolApp::traceDropped() const
+{
+#if PVA_TRACE_ENABLED
+    if (traceState->session)
+        return traceState->session->dropped();
+#endif
+    return traceState->dropped;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += (c >= 0 && c < 0x20) ? ' ' : c;
+    }
+    out += '"';
+    return out;
+}
+
+JsonEnvelope::JsonEnvelope(
+    std::ostream &stream, const ToolApp &app,
+    const SystemConfig &config,
+    const std::vector<std::pair<std::string, std::string>>
+        &config_extras)
+    : os(stream)
+{
+    os << "{\"schemaVersion\": " << kJsonSchemaVersion
+       << ", \"tool\": " << jsonQuote(app.toolName())
+       << ", \"config\": {\"banks\": " << config.geometry.banks()
+       << ", \"interleave\": " << config.geometry.interleave()
+       << ", \"lineWords\": " << config.bc.lineWords
+       << ", \"vectorContexts\": " << config.bc.vectorContexts
+       << ", \"rowPolicy\": "
+       << jsonQuote(rowPolicyName(config.bc.rowPolicy))
+       << ", \"refreshInterval\": " << config.timing.tREFI
+       << ", \"clocking\": "
+       << jsonQuote(clockingModeName(config.clocking))
+       << ", \"timingCheck\": "
+       << (config.timingCheck ? "true" : "false")
+       << ", \"faultsEnabled\": "
+       << (config.faults.enabled() ? "true" : "false");
+    for (const auto &[key, raw] : config_extras)
+        os << ", " << jsonQuote(key) << ": " << raw;
+    os << "}";
+}
+
+JsonEnvelope::~JsonEnvelope()
+{
+    os << "}\n";
+}
+
+std::ostream &
+JsonEnvelope::section(const char *key)
+{
+    os << ", \"" << key << "\": ";
+    return os;
+}
+
+void
+JsonEnvelope::traceSection(const ToolApp &app)
+{
+    if (!app.traceOptions().active())
+        return;
+    section("trace")
+        << "{\"out\": " << jsonQuote(app.traceOptions().outPath)
+        << ", \"recorded\": " << app.traceRecorded()
+        << ", \"dropped\": " << app.traceDropped() << "}";
+}
+
+} // namespace pva::tools
