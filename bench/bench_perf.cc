@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Pinned hot-path performance benchmark for the CI regression gate
+ * (docs/PERFORMANCE.md). Two scenarios exercise the saturated tick
+ * path — the regime the event core cannot skip, where raw
+ * cycles/second is pure hot-loop cost:
+ *
+ *  - saturatedSweep: every kernel at stride 16 (the power-of-two worst
+ *    case: all traffic serialized on a handful of banks, controllers
+ *    busy nearly every processed cycle), 4096-element vectors, event
+ *    clocking, serial executor;
+ *  - trafficThroughput: four closed-loop streams driving the PVA
+ *    system at full window occupancy through the arbiter.
+ *
+ * Every parameter is pinned so runs are comparable across commits;
+ * each scenario runs --reps times (default 3) and the fastest rep is
+ * reported, which discards scheduler noise on shared CI runners.
+ *
+ * Usage: bench_perf [--out FILE] [--reps N]
+ *
+ * Prints a human-readable summary and, with --out, writes the
+ * versioned JSON record (schemaVersion 1) that scripts/check_perf.py
+ * compares against the committed BENCH_PERF_BASELINE.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hh"
+#include "traffic/traffic_runner.hh"
+
+using namespace pva;
+
+namespace
+{
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct Measurement
+{
+    const char *name = "";
+    Cycle cycles = 0;      ///< Simulated cycles per rep
+    double bestMillis = 0; ///< Fastest rep
+    unsigned reps = 0;
+
+    double cyclesPerSecond() const
+    {
+        return bestMillis > 0.0
+                   ? 1000.0 * static_cast<double>(cycles) / bestMillis
+                   : 0.0;
+    }
+};
+
+/** All kernels at stride 16, event clocking, serial; total cycles. */
+std::uint64_t
+runSaturatedSweep(double &millis)
+{
+    std::vector<SweepRequest> grid;
+    for (KernelId k : allKernels()) {
+        SweepRequest req;
+        req.kernel = k;
+        req.stride = 16;
+        req.elements = 4096;
+        req.config.clocking = ClockingMode::Event;
+        grid.push_back(req);
+    }
+    SweepExecutor executor(1); // serial: wall time measures the core
+    auto t0 = std::chrono::steady_clock::now();
+    SweepReport report = executor.runReport(grid);
+    millis = millisSince(t0);
+    std::uint64_t cycles = 0;
+    for (const SweepPoint &p : report.points) {
+        if (p.mismatches != 0)
+            fatal("functional mismatch at stride 16");
+        cycles += p.cycles;
+    }
+    return cycles;
+}
+
+/** Closed-loop saturating traffic through the arbiter. */
+std::uint64_t
+runTrafficThroughput(double &millis)
+{
+    TrafficConfig tc;
+    tc.config.clocking = ClockingMode::Event;
+    for (unsigned i = 0; i < 4; ++i) {
+        StreamConfig s;
+        s.mode = ArrivalMode::ClosedLoop;
+        s.window = 8;
+        s.requests = 1500;
+        s.seed = 1 + i;
+        s.pattern.regionBase = i * (1 << 20);
+        tc.streams.push_back(std::move(s));
+    }
+    tc.limits.maxCycles = 100000000;
+    auto t0 = std::chrono::steady_clock::now();
+    TrafficResult r = runTraffic(tc);
+    millis = millisSince(t0);
+    return r.cycles;
+}
+
+Measurement
+measure(const char *name, std::uint64_t (*run)(double &),
+        unsigned reps)
+{
+    Measurement m;
+    m.name = name;
+    m.reps = reps;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        double millis = 0.0;
+        std::uint64_t cycles = run(millis);
+        if (rep == 0) {
+            m.cycles = cycles;
+            m.bestMillis = millis;
+        } else {
+            if (cycles != m.cycles)
+                fatal("%s nondeterministic: rep %u simulated %llu "
+                      "cycles, rep 0 simulated %llu",
+                      name, rep,
+                      static_cast<unsigned long long>(cycles),
+                      static_cast<unsigned long long>(m.cycles));
+            m.bestMillis = std::min(m.bestMillis, millis);
+        }
+    }
+    return m;
+}
+
+void
+jsonMeasurement(std::ostream &os, const Measurement &m)
+{
+    os << "    \"" << m.name << "\": {\n"
+       << "      \"cycles\": " << m.cycles << ",\n"
+       << "      \"bestMillis\": " << m.bestMillis << ",\n"
+       << "      \"cyclesPerSecond\": "
+       << static_cast<std::uint64_t>(m.cyclesPerSecond()) << ",\n"
+       << "      \"reps\": " << m.reps << "\n"
+       << "    }";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    unsigned reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+            reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+    if (reps == 0)
+        reps = 1;
+
+    Measurement sweep = measure("saturatedSweep", runSaturatedSweep,
+                                reps);
+    Measurement traffic = measure("trafficThroughput",
+                                  runTrafficThroughput, reps);
+
+    for (const Measurement *m : {&sweep, &traffic}) {
+        std::printf("%-18s %9llu cycles, best of %u: %8.1f ms, "
+                    "%.3g Mcycles/s\n",
+                    m->name,
+                    static_cast<unsigned long long>(m->cycles),
+                    m->reps, m->bestMillis,
+                    m->cyclesPerSecond() / 1e6);
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << "{\n  \"schemaVersion\": 1,\n"
+            << "  \"tool\": \"bench_perf\",\n"
+            << "  \"scenarios\": {\n";
+        jsonMeasurement(out, sweep);
+        out << ",\n";
+        jsonMeasurement(out, traffic);
+        out << "\n  }\n}\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a bench_perf run against the committed baseline.
+
+Usage: check_perf.py CURRENT.json BASELINE.json [--tolerance PCT]
+
+Both files are bench_perf --out records (schemaVersion 1; see
+docs/PERFORMANCE.md). For every scenario in the baseline, the current
+cyclesPerSecond must be no more than --tolerance percent (default 15)
+below the baseline value; being faster never fails. Exit status 1 on
+any regression, missing scenario, or schema mismatch, so the CI perf
+job turns red.
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = 1
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        record = json.load(f)
+    schema = record.get("schemaVersion")
+    if schema != EXPECTED_SCHEMA:
+        sys.exit(f"{path}: schemaVersion {schema!r}, "
+                 f"expected {EXPECTED_SCHEMA}")
+    scenarios = record.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        sys.exit(f"{path}: no scenarios")
+    return scenarios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="bench_perf --out of this build")
+    parser.add_argument("baseline", help="committed baseline record")
+    parser.add_argument("--tolerance", type=float, default=15.0,
+                        metavar="PCT",
+                        help="max allowed slowdown in percent "
+                             "(default %(default)s)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"FAIL {name}: missing from {args.current}")
+            failed = True
+            continue
+        base_cps = base.get("cyclesPerSecond", 0)
+        cur_cps = current[name].get("cyclesPerSecond", 0)
+        if base_cps <= 0 or cur_cps <= 0:
+            print(f"FAIL {name}: non-positive cyclesPerSecond "
+                  f"(baseline {base_cps}, current {cur_cps})")
+            failed = True
+            continue
+        delta = 100.0 * (cur_cps - base_cps) / base_cps
+        floor = base_cps * (1.0 - args.tolerance / 100.0)
+        verdict = "FAIL" if cur_cps < floor else "ok"
+        print(f"{verdict:4} {name}: {cur_cps:,.0f} cycles/s vs "
+              f"baseline {base_cps:,.0f} ({delta:+.1f}%, "
+              f"floor -{args.tolerance:g}%)")
+        if cur_cps < floor:
+            failed = True
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"note: scenarios not in baseline (unchecked): "
+              f"{', '.join(extra)}")
+
+    if failed:
+        print("perf regression gate FAILED — if the slowdown is "
+              "intended, refresh the baseline (docs/PERFORMANCE.md)")
+        return 1
+    print("perf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,12 +115,11 @@ CacheLineSystem::nextWakeAfter(Cycle now) const
     return head.finishAt;
 }
 
-std::vector<Completion>
-CacheLineSystem::drainCompletions()
+void
+CacheLineSystem::drainCompletionsInto(std::vector<Completion> &out)
 {
-    std::vector<Completion> out;
-    out.swap(completions);
-    return out;
+    out.clear();
+    std::swap(out, completions);
 }
 
 bool

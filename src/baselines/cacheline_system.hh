@@ -47,14 +47,14 @@ struct CacheLineConfig
 };
 
 /** Serial cache-line-fill memory system. */
-class CacheLineSystem : public MemorySystem
+class CacheLineSystem final : public MemorySystem
 {
   public:
     CacheLineSystem(std::string name, const CacheLineConfig &config = {});
 
     bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
                    const std::vector<Word> *write_data) override;
-    std::vector<Completion> drainCompletions() override;
+    void drainCompletionsInto(std::vector<Completion> &out) override;
     bool busy() const override;
     std::size_t inFlight() const override { return queue.size(); }
     SparseMemory &memory() override { return backing; }

@@ -85,12 +85,11 @@ GatheringSystem::nextWakeAfter(Cycle now) const
     return head.finishAt;
 }
 
-std::vector<Completion>
-GatheringSystem::drainCompletions()
+void
+GatheringSystem::drainCompletionsInto(std::vector<Completion> &out)
 {
-    std::vector<Completion> out;
-    out.swap(completions);
-    return out;
+    out.clear();
+    std::swap(out, completions);
 }
 
 bool

@@ -31,14 +31,14 @@ struct GatheringConfig
 };
 
 /** Serial element-gathering memory system. */
-class GatheringSystem : public MemorySystem
+class GatheringSystem final : public MemorySystem
 {
   public:
     GatheringSystem(std::string name, const GatheringConfig &config = {});
 
     bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
                    const std::vector<Word> *write_data) override;
-    std::vector<Completion> drainCompletions() override;
+    void drainCompletionsInto(std::vector<Completion> &out) override;
     bool busy() const override;
     std::size_t inFlight() const override { return queue.size(); }
     SparseMemory &memory() override { return backing; }

@@ -11,6 +11,7 @@ BankController::BankController(std::string name, unsigned bank,
                                const Geometry &geo_, const BcConfig &config,
                                BankDevice &dev_)
     : Component(std::move(name)), geo(geo_), cfg(config), dev(dev_),
+      sdram(dynamic_cast<SdramDevice *>(&dev_)),
       pla(geo_.bankBits(), config.plaVariant),
       staging(config.transactions),
       autoPrePredict(geo_.internalBanks(), false)
@@ -21,6 +22,8 @@ BankController::BankController(std::string name, unsigned bank,
                                 bank, geo.banks()));
     }
     bankIndex = bank;
+    fifo.reserve(cfg.fifoEntries);
+    vcs.reserve(cfg.vectorContexts);
 }
 
 void
@@ -32,6 +35,9 @@ BankController::enableFaults(const FaultPlan &plan, std::uint64_t stream)
 void
 BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
 {
+    // The broadcast may grow the FIFO below: credit any cycles this BC
+    // sat out first, while the queue sizes are still frozen.
+    creditFrozen(now);
     ++statCommandsSeen;
     if (cmd.txn >= staging.size()) {
         throw SimError(SimErrorKind::Overflow, name(), now,
@@ -53,23 +59,35 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
         st.cmd = cmd;
     if (cmd.isRead) {
         st.line.assign(cfg.lineWords, 0);
-        st.valid.assign(cfg.lineWords, false);
+        st.valid.assign(cfg.lineWords, 0);
     }
 
-    if (cmd.mode != VectorCommand::Mode::Stride) {
-        // Extension modes (chapter 7): the BC snoops the broadcast
-        // element stream and selects its elements with a bank bit-mask.
-        Request req;
-        req.cmd = cmd;
-        for (std::uint32_t i = 0; i < cmd.length; ++i) {
-            WordAddr a = cmd.element(i);
-            if (geo.bankOf(a) == bankIndex) {
-                req.explicitAddrs.push_back(a);
-                req.explicitSlots.push_back(static_cast<std::uint8_t>(i));
+    if (cmd.mode != VectorCommand::Mode::Stride || geo.interleave() > 1) {
+        // Extension modes (chapter 7) snoop the broadcast element stream
+        // and select elements with a bank bit-mask; block-interleaved
+        // systems (section 4.3.1) run N parallel FirstHit units whose
+        // merged output is the same explicit list. Expand into the
+        // scratch lists, then swap into the queued request so the list
+        // capacity circulates through the FIFO ring.
+        scratchAddrs.clear();
+        scratchSlots.clear();
+        if (cmd.mode != VectorCommand::Mode::Stride) {
+            for (std::uint32_t i = 0; i < cmd.length; ++i) {
+                WordAddr a = cmd.element(i);
+                if (geo.bankOf(a) == bankIndex) {
+                    scratchAddrs.push_back(a);
+                    scratchSlots.push_back(
+                        static_cast<std::uint8_t>(i));
+                }
+            }
+        } else {
+            for (std::uint32_t i :
+                 expandBankIndices(cmd, bankIndex, geo)) {
+                scratchAddrs.push_back(cmd.element(i));
+                scratchSlots.push_back(static_cast<std::uint8_t>(i));
             }
         }
-        st.expected =
-            static_cast<std::uint32_t>(req.explicitAddrs.size());
+        st.expected = static_cast<std::uint32_t>(scratchAddrs.size());
         if (st.expected == 0)
             return; // nothing here; trivially complete
         ++statCommandsHit;
@@ -78,51 +96,26 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
                            "request FIFO overflow");
         }
         if (injector) {
-            st.respAddrs = req.explicitAddrs;
-            st.respSlots = req.explicitSlots;
+            st.respAddrs = scratchAddrs;
+            st.respSlots = scratchSlots;
         }
-        // Indirect: indices broadcast two per cycle after the command;
-        // BitReversal: the pattern is generated locally (one extra
-        // cycle, like the power-of-two FHP path).
-        req.visibleAt = cmd.mode == VectorCommand::Mode::Indirect
-                            ? now + 1 + (cmd.length + 1) / 2
-                            : now + 2;
-        fifo.push_back(std::move(req));
-        PVA_TRACE_INSTANT(traceTrack(), now, "observe", "txn",
-                          cmd.txn, "elems", st.expected);
-        return;
-    }
-
-    if (geo.interleave() > 1) {
-        // Block-interleaved system: N copies of the FirstHit logic, one
-        // per logical bank (section 4.3.1), each contributing an
-        // arithmetic subsequence. We model the N parallel units with
-        // the merged explicit index list of the logical-bank transform;
-        // they operate concurrently, so the latency matches the
-        // word-interleaved path.
-        Request req;
+        Request &req = fifo.pushBack();
         req.cmd = cmd;
-        for (std::uint32_t i : expandBankIndices(cmd, bankIndex, geo)) {
-            req.explicitAddrs.push_back(cmd.element(i));
-            req.explicitSlots.push_back(static_cast<std::uint8_t>(i));
+        req.sub = SubVector{};
+        req.explicitAddrs.swap(scratchAddrs);
+        req.explicitSlots.swap(scratchSlots);
+        if (cmd.mode == VectorCommand::Mode::Indirect) {
+            // Indices broadcast two per cycle after the command.
+            req.visibleAt = now + 1 + (cmd.length + 1) / 2;
+        } else if (cmd.mode == VectorCommand::Mode::BitReversal) {
+            // Pattern generated locally (one extra cycle, like the
+            // power-of-two FHP path).
+            req.visibleAt = now + 2;
+        } else {
+            req.visibleAt = isPowerOfTwo(cmd.stride)
+                                ? now + 2
+                                : now + 2 + cfg.fhcLatency;
         }
-        st.expected =
-            static_cast<std::uint32_t>(req.explicitAddrs.size());
-        if (st.expected == 0)
-            return;
-        ++statCommandsHit;
-        if (fifo.size() >= cfg.fifoEntries) {
-            throw SimError(SimErrorKind::Overflow, name(), now,
-                           "request FIFO overflow");
-        }
-        if (injector) {
-            st.respAddrs = req.explicitAddrs;
-            st.respSlots = req.explicitSlots;
-        }
-        req.visibleAt = isPowerOfTwo(cmd.stride)
-                            ? now + 2
-                            : now + 2 + cfg.fhcLatency;
-        fifo.push_back(std::move(req));
         PVA_TRACE_INSTANT(traceTrack(), now, "observe", "txn",
                           cmd.txn, "elems", st.expected);
         return;
@@ -204,11 +197,12 @@ BankController::observeVecCommand(Cycle now, const VectorCommand &cmd)
             ++statBypasses;
     }
 
-    Request req;
+    Request &req = fifo.pushBack();
     req.cmd = cmd;
     req.sub = sub;
     req.visibleAt = visible;
-    fifo.push_back(std::move(req));
+    req.explicitAddrs.clear();
+    req.explicitSlots.clear();
     PVA_TRACE_INSTANT(traceTrack(), now, "fh_hit", "txn", cmd.txn,
                       "elems", st.expected);
 }
@@ -219,13 +213,6 @@ BankController::loadWriteLine(std::uint8_t txn, const std::vector<Word> &line)
     Staging &st = staging[txn];
     st.line = line;
     st.haveWriteData = true;
-}
-
-bool
-BankController::txnComplete(std::uint8_t txn) const
-{
-    const Staging &st = staging[txn];
-    return st.active && st.got >= st.expected;
 }
 
 void
@@ -241,7 +228,7 @@ BankController::collectInto(std::uint8_t txn, std::vector<Word> &out) const
 void
 BankController::releaseTxn(std::uint8_t txn)
 {
-    staging[txn] = Staging{};
+    staging[txn].reset();
 }
 
 void
@@ -264,7 +251,7 @@ BankController::drainDeviceReturns(Cycle now)
                                     "%u", r.txn));
         }
         st.line[r.slot] = r.data;
-        st.valid[r.slot] = true;
+        st.valid[r.slot] = 1;
         ++st.got;
         PVA_TRACE_BLOCK(
             if (st.got >= st.expected)
@@ -276,12 +263,12 @@ BankController::drainDeviceReturns(Cycle now)
 bool
 BankController::hasWorkFor(std::uint8_t txn) const
 {
-    for (const Request &r : fifo) {
-        if (r.cmd.txn == txn)
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+        if (fifo[i].cmd.txn == txn)
             return true;
     }
-    for (const VectorContext &vc : vcs) {
-        if (vc.cmd.txn == txn && !vc.done())
+    for (std::size_t i = 0; i < vcs.size(); ++i) {
+        if (vcs[i].cmd.txn == txn && !vcs[i].done())
             return true;
     }
     return false;
@@ -305,21 +292,29 @@ BankController::maybeRecover(Cycle now)
         // Every element this BC owed is accounted for except the
         // dropped ones: re-expand exactly the missing slots into a
         // fresh explicit-list vector context.
-        VectorContext vc;
+        VectorContext &vc = vcs.pushBack();
         vc.cmd = st.cmd;
+        vc.sub = SubVector{};
+        vc.issued = 0;
+        vc.firstAddr = 0;
+        vc.stepWords = 0;
+        vc.firstOpDone = false;
+        vc.explicitAddrs.clear();
+        vc.explicitSlots.clear();
         for (std::size_t i = 0; i < st.respSlots.size(); ++i) {
             if (!st.valid[st.respSlots[i]]) {
                 vc.explicitAddrs.push_back(st.respAddrs[i]);
                 vc.explicitSlots.push_back(st.respSlots[i]);
             }
         }
-        if (vc.explicitAddrs.empty())
+        if (vc.explicitAddrs.empty()) {
+            vcs.popBack();
             continue;
+        }
         ++statRecoveries;
         tickActivity = true;
         PVA_TRACE_INSTANT(traceTrack(), now, "recover", "txn",
                           vc.cmd.txn, "elems", vc.explicitAddrs.size());
-        vcs.push_back(std::move(vc));
         (void)now;
     }
 }
@@ -336,36 +331,42 @@ BankController::dequeueIntoVc(Cycle now)
     lastDequeue = now;
     tickActivity = true;
 
-    Request req = std::move(fifo.front());
-    fifo.pop_front();
+    Request &req = fifo.front();
 
     PVA_TRACE_INSTANT(traceTrack(), now, "vc_dequeue", "txn",
                       req.cmd.txn);
 
-    VectorContext vc;
+    VectorContext &vc = vcs.pushBack();
     vc.cmd = req.cmd;
     vc.sub = req.sub;
     vc.issued = 0;
-    vc.explicitAddrs = std::move(req.explicitAddrs);
-    vc.explicitSlots = std::move(req.explicitSlots);
+    vc.firstOpDone = false;
+    // Swap, don't move: the retired FIFO slot inherits the VC slot's
+    // old list capacity and both keep circulating in their rings.
+    vc.explicitAddrs.swap(req.explicitAddrs);
+    vc.explicitSlots.swap(req.explicitSlots);
     if (vc.explicitAddrs.empty()) {
         vc.firstAddr =
             req.cmd.base +
             static_cast<WordAddr>(req.cmd.stride) * req.sub.firstIndex;
         vc.stepWords =
             static_cast<WordAddr>(req.cmd.stride) * req.sub.delta;
+    } else {
+        vc.firstAddr = 0;
+        vc.stepWords = 0;
     }
-    vcs.push_back(std::move(vc));
+    fifo.popFront();
 }
 
 bool
 BankController::otherVcHitsOpenRow(unsigned ibank,
                                    const VectorContext *except) const
 {
-    if (!dev.anyRowOpen(ibank))
+    if (!devAnyRowOpen(ibank))
         return false;
-    std::uint32_t open = dev.openRow(ibank);
-    for (const VectorContext &vc : vcs) {
+    std::uint32_t open = devOpenRow(ibank);
+    for (std::size_t i = 0; i < vcs.size(); ++i) {
+        const VectorContext &vc = vcs[i];
         if (&vc == except || vc.done())
             continue;
         DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
@@ -379,9 +380,9 @@ bool
 BankController::olderVcHitsOpenRow(unsigned ibank,
                                    std::size_t vc_index) const
 {
-    if (!dev.anyRowOpen(ibank))
+    if (!devAnyRowOpen(ibank))
         return false;
-    std::uint32_t open = dev.openRow(ibank);
+    std::uint32_t open = devOpenRow(ibank);
     for (std::size_t i = 0; i < vc_index && i < vcs.size(); ++i) {
         const VectorContext &vc = vcs[i];
         if (vc.done())
@@ -396,10 +397,11 @@ BankController::olderVcHitsOpenRow(unsigned ibank,
 bool
 BankController::anyVcMissesOpenRow(unsigned ibank) const
 {
-    if (!dev.anyRowOpen(ibank))
+    if (!devAnyRowOpen(ibank))
         return false;
-    std::uint32_t open = dev.openRow(ibank);
-    for (const VectorContext &vc : vcs) {
+    std::uint32_t open = devOpenRow(ibank);
+    for (std::size_t i = 0; i < vcs.size(); ++i) {
+        const VectorContext &vc = vcs[i];
         if (vc.done())
             continue;
         DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
@@ -423,23 +425,23 @@ BankController::tryActivatePrecharge(Cycle now)
         if (vc.done())
             continue;
         DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
-        if (dev.isRowOpen(c.internalBank, c.row))
+        if (devIsRowOpen(c.internalBank, c.row))
             continue; // ready, nothing to open
 
-        if (!dev.anyRowOpen(c.internalBank)) {
+        if (!devAnyRowOpen(c.internalBank)) {
             DeviceOp op;
             op.kind = DeviceOp::Kind::Activate;
             op.addr = vc.addrAt(vc.issued);
-            if (dev.canIssue(op, now)) {
+            if (devCanIssue(op, now)) {
                 if (!vc.firstOpDone) {
                     // Autoprecharge predictor: a new request whose first
                     // row differs from the row last open in this
                     // internal bank predicts "close after use".
                     autoPrePredict[c.internalBank] =
-                        dev.lastRow(c.internalBank) != c.row;
+                        devLastRow(c.internalBank) != c.row;
                     vc.firstOpDone = true;
                 }
-                dev.issue(op, now);
+                devIssue(op, now);
                 return true;
             }
         } else if (!olderVcHitsOpenRow(c.internalBank, vi)) {
@@ -448,8 +450,8 @@ BankController::tryActivatePrecharge(Cycle now)
             DeviceOp op;
             op.kind = DeviceOp::Kind::Precharge;
             op.internalBank = c.internalBank;
-            if (dev.canIssue(op, now)) {
-                dev.issue(op, now);
+            if (devCanIssue(op, now)) {
+                devIssue(op, now);
                 return true;
             }
         }
@@ -489,8 +491,8 @@ BankController::tryReadWrite(Cycle now)
     // in any older VC. The oldest pending VC may always reverse.
     bool reversal_blocked = false;
     bool first_pending = true;
-    for (auto it = vcs.begin(); it != vcs.end(); ++it) {
-        VectorContext &vc = *it;
+    for (std::size_t vi = 0; vi < vcs.size(); ++vi) {
+        VectorContext &vc = vcs[vi];
         if (vc.done())
             continue;
         bool wants_reversal = anyDirYet && vc.cmd.isRead != lastDirRead;
@@ -498,7 +500,7 @@ BankController::tryReadWrite(Cycle now)
             first_pending || (!reversal_blocked && !wants_reversal);
 
         DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
-        bool row_ready = dev.isRowOpen(c.internalBank, c.row);
+        bool row_ready = devIsRowOpen(c.internalBank, c.row);
         bool data_ready =
             vc.cmd.isRead || staging[vc.cmd.txn].haveWriteData;
 
@@ -514,13 +516,13 @@ BankController::tryReadWrite(Cycle now)
             if (!vc.cmd.isRead)
                 op.writeData = staging[vc.cmd.txn].line[slot];
 
-            if (dev.canIssue(op, now)) {
+            if (devCanIssue(op, now)) {
                 if (!vc.firstOpDone) {
                     autoPrePredict[c.internalBank] =
-                        dev.lastRow(c.internalBank) != c.row;
+                        devLastRow(c.internalBank) != c.row;
                     vc.firstOpDone = true;
                 }
-                dev.issue(op, now);
+                devIssue(op, now);
                 lastDirRead = vc.cmd.isRead;
                 anyDirYet = true;
                 ++statElements;
@@ -535,7 +537,7 @@ BankController::tryReadWrite(Cycle now)
                 }
                 ++vc.issued;
                 if (vc.done())
-                    vcs.erase(it);
+                    vcs.eraseAt(vi);
                 return true;
             }
         }
@@ -550,8 +552,9 @@ BankController::tryReadWrite(Cycle now)
 void
 BankController::tick(Cycle now)
 {
+    creditFrozen(now); // bring occupancy stats current through now - 1
     tickActivity = false;
-    dev.tick(now); // apply auto-refresh before scheduling decisions
+    devTick(now); // apply auto-refresh before scheduling decisions
     drainDeviceReturns(now);
     if (injector && injector->bcStall()) {
         // Fault injection: the scheduler loses this cycle (delayed
@@ -559,12 +562,7 @@ BankController::tick(Cycle now)
         // dequeue/issue work waits for the next cycle.
         ++statStallCycles;
         PVA_TRACE_INSTANT(traceTrack(), now, "stall");
-        statVcOccupancy += vcs.size();
-        if (vcs.size() >= cfg.vectorContexts)
-            ++statVcFullCycles;
-        statFifoOccupancy += fifo.size();
-        if (fifo.size() > statFifoPeak.value())
-            statFifoPeak += fifo.size() - statFifoPeak.value();
+        accountCycle(now);
         return;
     }
     maybeRecover(now);
@@ -579,12 +577,7 @@ BankController::tick(Cycle now)
 
     // Occupancy accounting (end-of-tick state, so a full pipeline
     // shows vectorContexts, not a transient).
-    statVcOccupancy += vcs.size();
-    if (vcs.size() >= cfg.vectorContexts)
-        ++statVcFullCycles;
-    statFifoOccupancy += fifo.size();
-    if (fifo.size() > statFifoPeak.value())
-        statFifoPeak += fifo.size() - statFifoPeak.value();
+    accountCycle(now);
 
     PVA_TRACE_BLOCK(
         // Occupancy counters, emitted only on change to bound the
@@ -616,9 +609,14 @@ BankController::nextWakeAfter(Cycle now) const
         return now + 1; // keep the fault RNG stream tick-indexed
     if (tickActivity)
         return now + 1;
-    if (idle())
-        return kNeverCycle;
-    Cycle wake = dev.nextTimingEventAfter(now);
+    if (idle()) {
+        // The device's refresh clock runs from this controller's tick,
+        // so even an idle controller wakes for the device's next timing
+        // event — the tREFI boundary in particular. Stale per-bank
+        // timers at worst wake it early, which is a no-op tick.
+        return devNextTimingEventAfter(now);
+    }
+    Cycle wake = devNextTimingEventAfter(now);
     if (!fifo.empty()) {
         Cycle v = fifo.front().visibleAt;
         Cycle c = v > now ? v : now + 1;
@@ -629,15 +627,6 @@ BankController::nextWakeAfter(Cycle now) const
     // behind it; if the scoreboard reports none, fall back to stepping
     // (correct, merely slower).
     return wake == kNeverCycle ? now + 1 : wake;
-}
-
-void
-BankController::accountGap(Cycle gap)
-{
-    statVcOccupancy += vcs.size() * gap;
-    if (vcs.size() >= cfg.vectorContexts)
-        statVcFullCycles += gap;
-    statFifoOccupancy += fifo.size() * gap;
 }
 
 void

@@ -29,6 +29,14 @@
  * Bypass paths (section 5.2.3): with an empty RQF a power-of-two-stride
  * request goes straight to a VC one cycle early, and a lone
  * non-power-of-two request skips the register-file writeback cycle.
+ *
+ * Hot-path notes (docs/PERFORMANCE.md): the RQF and VC window live in
+ * RingDeques so the busy tick path recycles queue slots instead of
+ * allocating; staging units reset in place, keeping their line-buffer
+ * capacity across transactions; and the BC caches a concrete
+ * SdramDevice pointer so every per-cycle device query (row predicates,
+ * refresh tick, restimer probes) devirtualizes — the virtual BankDevice
+ * interface is only exercised for the SRAM comparison system.
  */
 
 #ifndef PVA_CORE_BANK_CONTROLLER_HH
@@ -36,7 +44,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +54,7 @@
 #include "sdram/device.hh"
 #include "sim/component.hh"
 #include "sim/fault.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 
 namespace pva
@@ -74,7 +82,7 @@ struct BcConfig
 };
 
 /** One bank's controller. */
-class BankController : public Component
+class BankController final : public Component
 {
   public:
     BankController(std::string name, unsigned bank, const Geometry &geo,
@@ -94,8 +102,14 @@ class BankController : public Component
     void loadWriteLine(std::uint8_t txn, const std::vector<Word> &line);
 
     /** Has this BC finished its share of transaction @p txn? (Its
-     *  contribution to the wired-OR transaction-complete line.) */
-    bool txnComplete(std::uint8_t txn) const;
+     *  contribution to the wired-OR transaction-complete line.)
+     *  Polled per gathering transaction per cycle, so inline. */
+    bool
+    txnComplete(std::uint8_t txn) const
+    {
+        const Staging &st = staging[txn];
+        return st.active && st.got >= st.expected;
+    }
 
     /** Copy this BC's gathered words for @p txn into the line buffer
      *  @p out (indexed by vector element position). */
@@ -114,15 +128,33 @@ class BankController : public Component
      * draws from its RNG stream once per tick, so an attached injector
      * pins the BC to every-cycle ticking to keep the stream
      * tick-indexed (and fault timelines identical across modes).
+     *
+     * The same contract backs both the Simulation event core and the
+     * owning PvaUnit's batched per-BC ticking (its cached wake cycles).
      */
     Cycle nextWakeAfter(Cycle now) const override;
 
     /**
-     * Credit the end-of-tick occupancy stats for @p gap cycles skipped
-     * by event clocking (queue state was frozen over the span). Called
-     * by the owning PvaUnit before anything mutates this cycle.
+     * Bring the occupancy statistics current through cycle @p now - 1,
+     * crediting every not-yet-accounted cycle with the frozen queue
+     * state. Cycles this BC did not tick — whether skipped by event
+     * clocking or by the front end's batched per-BC ticking — left the
+     * queues untouched, so the frozen credit reproduces the exhaustive
+     * every-cycle accounting exactly. Called before anything mutates
+     * the BC in cycle @p now; ticking accounts @p now itself.
      */
-    void accountGap(Cycle gap);
+    void
+    creditFrozen(Cycle now)
+    {
+        if (now <= accountedCycles)
+            return;
+        Cycle gap = now - accountedCycles;
+        statVcOccupancy += vcs.size() * gap;
+        if (vcs.size() >= cfg.vectorContexts)
+            statVcFullCycles += gap;
+        statFifoOccupancy += fifo.size() * gap;
+        accountedCycles = now;
+    }
 
     /** Nothing queued, scheduled, or in flight. */
     bool idle() const;
@@ -225,7 +257,7 @@ class BankController : public Component
         std::uint32_t expected = 0;
         std::uint32_t got = 0;
         std::vector<Word> line;  ///< Read gather / write scatter data
-        std::vector<bool> valid; ///< Read slots gathered so far
+        std::vector<std::uint8_t> valid; ///< Read slots gathered so far
         bool haveWriteData = false;
         /** The command and sub-vector this BC committed to, captured
          *  at observe time for drop-recovery (populated only under
@@ -235,12 +267,38 @@ class BankController : public Component
         std::vector<std::uint8_t> respSlots;
 
         bool complete() const { return !active || got >= expected; }
+
+        /** Return to the inactive state keeping buffer capacity. */
+        void
+        reset()
+        {
+            active = false;
+            isRead = true;
+            expected = 0;
+            got = 0;
+            haveWriteData = false;
+            respAddrs.clear();
+            respSlots.clear();
+        }
     };
 
     void drainDeviceReturns(Cycle now);
     void dequeueIntoVc(Cycle now);
     bool tryActivatePrecharge(Cycle now);
     bool tryReadWrite(Cycle now);
+
+    /** Account cycle @p now's end-of-tick occupancy. */
+    void
+    accountCycle(Cycle now)
+    {
+        statVcOccupancy += vcs.size();
+        if (vcs.size() >= cfg.vectorContexts)
+            ++statVcFullCycles;
+        statFifoOccupancy += fifo.size();
+        if (fifo.size() > statFifoPeak.value())
+            statFifoPeak += fifo.size() - statFifoPeak.value();
+        accountedCycles = now + 1;
+    }
 
     /** Re-fetch gathered-but-lost elements of quiescent, incomplete
      *  read transactions (fault-injection recovery path). */
@@ -272,20 +330,91 @@ class BankController : public Component
     bool decideAutoPrecharge(const VectorContext &vc,
                              const DeviceCoords &c);
 
+    /** @name Devirtualized device access
+     * The concrete device type is fixed at construction; caching the
+     * SdramDevice downcast turns the per-cycle row predicates, refresh
+     * tick and restimer probes into direct (mostly inline) calls. The
+     * virtual fallback serves the SRAM comparison system.
+     * @{ */
+    bool
+    devAnyRowOpen(unsigned ibank) const
+    {
+        return sdram ? sdram->anyRowOpen(ibank) : dev.anyRowOpen(ibank);
+    }
+
+    bool
+    devIsRowOpen(unsigned ibank, std::uint32_t row) const
+    {
+        return sdram ? sdram->isRowOpen(ibank, row)
+                     : dev.isRowOpen(ibank, row);
+    }
+
+    std::uint32_t
+    devOpenRow(unsigned ibank) const
+    {
+        return sdram ? sdram->openRow(ibank) : dev.openRow(ibank);
+    }
+
+    std::uint32_t
+    devLastRow(unsigned ibank) const
+    {
+        return sdram ? sdram->lastRow(ibank) : dev.lastRow(ibank);
+    }
+
+    bool
+    devCanIssue(const DeviceOp &op, Cycle now) const
+    {
+        return sdram ? sdram->canIssue(op, now) : dev.canIssue(op, now);
+    }
+
+    void
+    devIssue(const DeviceOp &op, Cycle now)
+    {
+        if (sdram)
+            sdram->issue(op, now);
+        else
+            dev.issue(op, now);
+    }
+
+    void
+    devTick(Cycle now)
+    {
+        if (sdram)
+            sdram->tick(now);
+        else
+            dev.tick(now);
+    }
+
+    Cycle
+    devNextTimingEventAfter(Cycle now) const
+    {
+        return sdram ? sdram->nextTimingEventAfter(now)
+                     : dev.nextTimingEventAfter(now);
+    }
+    /** @} */
+
     const Geometry &geo;
     BcConfig cfg;
     BankDevice &dev;
+    SdramDevice *sdram = nullptr; ///< Concrete downcast of dev (or null)
     FirstHitPla pla;
     unsigned bankIndex = 0;
 
-    std::deque<Request> fifo;        ///< RQF (oldest at front)
-    std::deque<VectorContext> vcs;   ///< Oldest at front (highest prio)
-    std::vector<Staging> staging;    ///< Indexed by transaction id
+    RingDeque<Request> fifo;      ///< RQF (oldest at front)
+    RingDeque<VectorContext> vcs; ///< Oldest at front (highest prio)
+    std::vector<Staging> staging; ///< Indexed by transaction id
     std::vector<bool> autoPrePredict; ///< Per internal bank (section 5.2.2)
     std::unique_ptr<FaultInjector> injector;
 
+    /** Scratch element lists for observeVecCommand's explicit-mode
+     *  expansion (swapped into the queued Request, so capacity
+     *  circulates instead of being reallocated per command). */
+    std::vector<WordAddr> scratchAddrs;
+    std::vector<std::uint8_t> scratchSlots;
+
     Cycle fhcBusyUntil = 0; ///< FHC pipeline occupancy
     Cycle lastDequeue = kNeverCycle;
+    Cycle accountedCycles = 0; ///< Cycles [0, this) occupancy-accounted
     bool tickActivity = false; ///< Did the last tick change state?
 
     bool lastDirRead = true; ///< SDRAM data bus polarity

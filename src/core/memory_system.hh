@@ -47,8 +47,31 @@ class MemorySystem : public Component
     virtual bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
                            const std::vector<Word> *write_data) = 0;
 
-    /** Completions that matured since the last drain. */
-    virtual std::vector<Completion> drainCompletions() = 0;
+    /**
+     * Move the completions that matured since the last drain into
+     * @p out (replacing its contents). The primitive drain operation:
+     * callers that care about steady-state allocation (the vector
+     * command unit, the traffic arbiter) keep one vector alive across
+     * calls so buffers shuttle between caller and system instead of
+     * cycling through the allocator.
+     */
+    virtual void drainCompletionsInto(std::vector<Completion> &out) = 0;
+
+    /** Convenience drain returning a fresh vector. */
+    std::vector<Completion>
+    drainCompletions()
+    {
+        std::vector<Completion> out;
+        drainCompletionsInto(out);
+        return out;
+    }
+
+    /**
+     * Hand a consumed completion's line buffer back to the system for
+     * reuse by a future read completion. Optional — systems without a
+     * buffer pool simply free it.
+     */
+    virtual void recycleLine(std::vector<Word> &&line) { (void)line; }
 
     /** Any transaction still in flight or queued? */
     virtual bool busy() const = 0;

@@ -11,7 +11,8 @@ namespace pva
 
 PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
     : MemorySystem(std::move(name)), cfg(config),
-      vectorBus(config.bc.lineWords), txns(config.bc.transactions)
+      vectorBus(config.bc.lineWords), txns(config.bc.transactions),
+      bcScanFrom(config.bc.transactions, 0)
 {
     const unsigned banks = cfg.geometry.banks();
     if (cfg.timingCheck) {
@@ -40,6 +41,9 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
         if (cfg.faults.enabled())
             bcs.back()->enableFaults(cfg.faults, b * 2 + 1);
     }
+    bcWake.assign(banks, 0);
+    submitOrder.reserve(cfg.bc.transactions);
+    linePool.reserve(cfg.bc.transactions);
 
     vectorBus.registerStats(statSet, "bus");
     if (checker)
@@ -111,7 +115,8 @@ PvaUnit::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
             t.writeData = *write_data;
         else
             t.writeData.clear();
-        submitOrder.push_back(id);
+        submitOrder.pushBack() = id;
+        ++activeTxns;
         if (cmd.isRead)
             ++statReads;
         else
@@ -125,10 +130,11 @@ PvaUnit::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
 }
 
 bool
-PvaUnit::allBcsComplete(std::uint8_t id) const
+PvaUnit::allBcsComplete(std::uint8_t id)
 {
-    for (const auto &bc : bcs) {
-        if (!bc->txnComplete(id))
+    unsigned &from = bcScanFrom[id];
+    for (; from < bcs.size(); ++from) {
+        if (!bcs[from]->txnComplete(id))
             return false;
     }
     return true;
@@ -139,8 +145,9 @@ PvaUnit::finishRead(std::uint8_t id, Cycle now)
 {
     Txn &t = txns[id];
     statReadLatency.sample(now - t.acceptedAt);
-    Completion c;
+    Completion &c = completions.emplace_back();
     c.tag = t.tag;
+    c.data = takeLine();
     c.data.assign(t.cmd.length, 0);
     for (const auto &bc : bcs)
         bc->collectInto(id, c.data);
@@ -148,10 +155,10 @@ PvaUnit::finishRead(std::uint8_t id, Cycle now)
         checker->verifyGather(t.cmd, c.data, now);
         checker->releaseTxn(id);
     }
-    completions.push_back(std::move(c));
     for (const auto &bc : bcs)
         bc->releaseTxn(id);
     t.state = TxnState::Free;
+    --activeTxns;
     PVA_TRACE_END(txnTrack(id), now, "read", "latency",
                   now - t.acceptedAt);
 }
@@ -165,10 +172,13 @@ PvaUnit::finishWrite(std::uint8_t id, Cycle now)
         checker->verifyScatter(t.cmd, t.writeData, now);
         checker->releaseTxn(id);
     }
-    completions.push_back({t.tag, {}});
+    Completion &c = completions.emplace_back();
+    c.tag = t.tag;
+    c.data.clear();
     for (const auto &bc : bcs)
         bc->releaseTxn(id);
     t.state = TxnState::Free;
+    --activeTxns;
     PVA_TRACE_END(txnTrack(id), now, "write", "latency",
                   now - t.acceptedAt);
 }
@@ -178,6 +188,13 @@ PvaUnit::tick(Cycle now)
 {
     lastTickCycle = now;
     tickActivity = false;
+
+    // BC occupancy accounting is lazy: each controller credits its own
+    // sat-out cycles at the top of its tick, and observeVecCommand
+    // credits before a broadcast grows the FIFO. A controller that
+    // sleeps to the end of the run needs no credit at all — it could
+    // only sleep that long with empty queues, whose frozen
+    // contribution is zero.
 
     // --- 1. Untimed/timed state transitions (observing BC state as of
     //        the end of the previous cycle). ---------------------------
@@ -248,6 +265,8 @@ PvaUnit::tick(Cycle now)
                 vectorBus.drive(now, {BusOpcode::VecWrite, t.cmd, chosen});
                 if (checker)
                     checker->beginTxn(t.cmd);
+                bcScanFrom[chosen] = 0;
+                wakeAllBcs(now);
                 for (const auto &bc : bcs)
                     bc->observeVecCommand(now, t.cmd);
                 t.state = TxnState::Scattering;
@@ -258,19 +277,22 @@ PvaUnit::tick(Cycle now)
                 std::uint8_t id = submitOrder.front();
                 Txn &t = txns[id];
                 if (t.state == TxnState::QueuedRead) {
-                    submitOrder.pop_front();
+                    submitOrder.popFront();
                     vectorBus.drive(now, {BusOpcode::VecRead, t.cmd, id});
                     if (checker)
                         checker->beginTxn(t.cmd);
+                    bcScanFrom[id] = 0;
+                    wakeAllBcs(now);
                     for (const auto &bc : bcs)
                         bc->observeVecCommand(now, t.cmd);
                     t.state = TxnState::Gathering;
                     tickActivity = true;
                     PVA_TRACE_INSTANT(txnTrack(id), now, "broadcast");
                 } else if (t.state == TxnState::QueuedWrite) {
-                    submitOrder.pop_front();
+                    submitOrder.popFront();
                     vectorBus.drive(now,
                                     {BusOpcode::StageWrite, t.cmd, id});
+                    wakeAllBcs(now);
                     for (const auto &bc : bcs)
                         bc->loadWriteLine(id, t.writeData);
                     t.state = TxnState::WriteData;
@@ -283,11 +305,20 @@ PvaUnit::tick(Cycle now)
     }
 
     // --- 3. Clock the bank controllers (and through them the DRAMs). --
-    for (const auto &bc : bcs)
-        bc->tick(now);
+    // Batched: skip controllers whose cached wake (their own
+    // nextWakeAfter answer, reset to `now` by any broadcast above) is
+    // still in the future — their state provably cannot change.
+    const bool batching = cfg.batchTicking;
+    for (std::size_t b = 0; b < bcs.size(); ++b) {
+        if (batching && bcWake[b] > now)
+            continue;
+        BankController &bc = *bcs[b];
+        bc.tick(now);
+        bcWake[b] = bc.nextWakeAfter(now);
+    }
 
     // Context-occupancy accounting (end-of-tick in-flight count).
-    std::size_t active = inFlight();
+    std::size_t active = activeTxns;
     statCtxOccupancy += active;
     if (active >= txns.size())
         ++statCtxFullCycles;
@@ -306,15 +337,15 @@ PvaUnit::onCycleBegin(Cycle now)
 {
     // Event clocking skipped (now - lastProcessedTick - 1) cycles with
     // all queues frozen; credit the per-cycle occupancy stats before
-    // anything (trySubmit, observeVecCommand) mutates this cycle.
+    // anything (trySubmit, observeVecCommand) mutates this cycle. Each
+    // BC keeps its own accounting watermark, which also covers cycles
+    // the batched tick loop let it sit out.
     if (tickedYet && now > lastProcessedTick + 1) {
         Cycle gap = now - lastProcessedTick - 1;
-        std::size_t active = inFlight();
+        std::size_t active = activeTxns;
         statCtxOccupancy += active * gap;
         if (active >= txns.size())
             statCtxFullCycles += gap;
-        for (const auto &bc : bcs)
-            bc->accountGap(gap);
     }
     // trySubmit stamps acceptedAt with the last *ticked* cycle, which
     // under the exhaustive stepper is always now - 1 at this point.
@@ -324,7 +355,11 @@ PvaUnit::onCycleBegin(Cycle now)
 Cycle
 PvaUnit::nextWakeAfter(Cycle now) const
 {
-    Cycle wake = tickActivity ? now + 1 : kNeverCycle;
+    // A tick that changed state pins the wake at now + 1; nothing the
+    // scans below find can come earlier, so skip them.
+    if (tickActivity)
+        return now + 1;
+    Cycle wake = kNeverCycle;
     auto consider = [&](Cycle c) {
         if (c > now && c < wake)
             wake = c;
@@ -348,34 +383,32 @@ PvaUnit::nextWakeAfter(Cycle now) const
             break; // Free / Gathering / Scattering: BC wakes cover it
         }
     }
-    for (const auto &bc : bcs)
-        consider(bc->nextWakeAfter(now));
+    // The cached per-BC wakes are exactly the answers the controllers
+    // gave at their last tick, so folding the cache is equivalent to
+    // re-polling them — without M virtual calls per processed cycle.
+    for (Cycle w : bcWake)
+        consider(w);
     return wake;
 }
 
-std::vector<Completion>
-PvaUnit::drainCompletions()
+void
+PvaUnit::drainCompletionsInto(std::vector<Completion> &out)
 {
-    std::vector<Completion> out;
-    out.swap(completions);
-    return out;
+    out.clear();
+    std::swap(out, completions);
+}
+
+void
+PvaUnit::recycleLine(std::vector<Word> &&line)
+{
+    if (line.capacity() != 0 && linePool.size() < txns.size())
+        linePool.push_back(std::move(line));
 }
 
 bool
 PvaUnit::busy() const
 {
-    return inFlight() != 0;
-}
-
-std::size_t
-PvaUnit::inFlight() const
-{
-    std::size_t n = 0;
-    for (const Txn &t : txns) {
-        if (t.state != TxnState::Free)
-            ++n;
-    }
-    return n;
+    return activeTxns != 0;
 }
 
 } // namespace pva

@@ -17,12 +17,22 @@
  *
  * The same unit instantiated over SramDevice banks is the paper's
  * "parallel vector access SRAM" comparison system.
+ *
+ * Batched bank-controller ticking (docs/PERFORMANCE.md): the front end
+ * caches each BC's wake cycle (the Component::nextWakeAfter contract)
+ * and skips ticking controllers that are provably quiescent until
+ * then. Saturated vector workloads concentrate on few banks at a time,
+ * so most of the M controllers are skippable on most cycles. Every
+ * external input to a BC — a VEC_READ/VEC_WRITE broadcast or a
+ * STAGE_WRITE line delivery — resets that BC's cached wake to the
+ * current cycle, preserving cycle-exactness by the same argument as
+ * the event clocking core. cfg.batchTicking = false restores the
+ * tick-every-BC-every-cycle reference behaviour.
  */
 
 #ifndef PVA_CORE_PVA_UNIT_HH
 #define PVA_CORE_PVA_UNIT_HH
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -32,6 +42,7 @@
 #include "core/system_config.hh"
 #include "sdram/device.hh"
 #include "sdram/geometry.hh"
+#include "sim/pool.hh"
 
 namespace pva
 {
@@ -47,30 +58,34 @@ class PvaUnit : public MemorySystem
 
     bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
                    const std::vector<Word> *write_data) override;
-    std::vector<Completion> drainCompletions() override;
+    void drainCompletionsInto(std::vector<Completion> &out) override;
+    void recycleLine(std::vector<Word> &&line) override;
     bool busy() const override;
-    std::size_t inFlight() const override;
+    std::size_t inFlight() const override { return activeTxns; }
     SparseMemory &memory() override { return backing; }
     StatSet &stats() override { return statSet; }
 
-    void tick(Cycle now) override;
+    /** Final so the Simulation's typed dispatch is a direct call. */
+    void tick(Cycle now) final;
 
     /**
      * Wake contract: earliest of the txn state machine's timed
      * transitions (readyAt), the vector bus freeing for a queued
-     * request, and every bank controller's own wake; now + 1 whenever
-     * the last tick changed state; kNeverCycle when fully drained.
+     * request, and every bank controller's cached wake; now + 1
+     * whenever the last tick changed state; kNeverCycle when fully
+     * drained.
      */
-    Cycle nextWakeAfter(Cycle now) const override;
+    Cycle nextWakeAfter(Cycle now) const final;
 
     /**
-     * Top-of-cycle hook: credits the per-cycle occupancy stats (front
-     * end and BCs) for any span event clocking skipped — state was
-     * frozen over the span, so the credit is exact — and stamps the
-     * acceptedAt reference cycle trySubmit uses, keeping submission
-     * timestamps identical to the exhaustive stepper's.
+     * Top-of-cycle hook: brings the per-cycle occupancy stats current
+     * (front end and BCs) for any cycles not yet accounted — spans
+     * skipped by event clocking and, per BC, by batched ticking; state
+     * was frozen over those cycles, so the credit is exact — and
+     * stamps the acceptedAt reference cycle trySubmit uses, keeping
+     * submission timestamps identical to the exhaustive stepper's.
      */
-    void onCycleBegin(Cycle now) override;
+    void onCycleBegin(Cycle now) final;
 
     /** Direct access for white-box tests. */
     BankController &bankController(unsigned i) { return *bcs[i]; }
@@ -101,14 +116,39 @@ class PvaUnit : public MemorySystem
         Cycle acceptedAt = 0; ///< For the latency distributions
     };
 
-    /** All BCs finished transaction @p id (the wired-OR line). */
-    bool allBcsComplete(std::uint8_t id) const;
+    /**
+     * All BCs finished transaction @p id (the wired-OR line)? Scans
+     * from the per-txn resume index: a BC's completion is monotone
+     * between broadcast and release, so controllers already seen
+     * complete are never re-polled.
+     */
+    bool allBcsComplete(std::uint8_t id);
+
+    /** Broadcast an external input to every BC's cached wake (the BC
+     *  must tick this cycle to take it). */
+    void
+    wakeAllBcs(Cycle now)
+    {
+        for (Cycle &w : bcWake)
+            w = now;
+    }
 
     /** Trace track for transaction slot @p id (0 when untraced). */
     std::uint32_t
     txnTrack(std::uint8_t id) const
     {
         return id < txnTracks.size() ? txnTracks[id] : 0;
+    }
+
+    /** Take a recycled line buffer from the pool (or an empty one). */
+    std::vector<Word>
+    takeLine()
+    {
+        if (linePool.empty())
+            return {};
+        std::vector<Word> line = std::move(linePool.back());
+        linePool.pop_back();
+        return line;
     }
 
     void finishRead(std::uint8_t id, Cycle now);
@@ -123,8 +163,17 @@ class PvaUnit : public MemorySystem
     std::unique_ptr<TimingChecker> checker;
 
     std::vector<Txn> txns;
-    std::deque<std::uint8_t> submitOrder; ///< FIFO of queued commands
+    RingDeque<std::uint8_t> submitOrder; ///< FIFO of queued commands
     std::vector<Completion> completions;
+    /** Recycled read-line buffers (recycleLine() -> finishRead()). */
+    std::vector<std::vector<Word>> linePool;
+
+    /** Cached per-BC wake cycle (see file comment); maintained in both
+     *  batching modes, consulted by the tick loop only when batching. */
+    std::vector<Cycle> bcWake;
+    /** Per-txn first bank controller not yet seen complete. */
+    std::vector<unsigned> bcScanFrom;
+    std::size_t activeTxns = 0; ///< Txn slots not Free
 
     StatSet statSet;
     Scalar statReads;

@@ -63,10 +63,10 @@ ShadowMemorySystem::trySubmit(const VectorCommand &cmd, std::uint64_t tag,
     return inner.trySubmit(cmd, tag, write_data);
 }
 
-std::vector<Completion>
-ShadowMemorySystem::drainCompletions()
+void
+ShadowMemorySystem::drainCompletionsInto(std::vector<Completion> &out)
 {
-    return inner.drainCompletions();
+    inner.drainCompletionsInto(out);
 }
 
 bool

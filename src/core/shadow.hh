@@ -47,7 +47,12 @@ class ShadowMemorySystem : public MemorySystem
 
     bool trySubmit(const VectorCommand &cmd, std::uint64_t tag,
                    const std::vector<Word> *write_data) override;
-    std::vector<Completion> drainCompletions() override;
+    void drainCompletionsInto(std::vector<Completion> &out) override;
+    void
+    recycleLine(std::vector<Word> &&line) override
+    {
+        inner.recycleLine(std::move(line));
+    }
     bool busy() const override;
     SparseMemory &memory() override { return inner.memory(); }
     StatSet &stats() override { return inner.stats(); }

@@ -41,6 +41,8 @@ struct PvaConfig
     bool useSram = false; ///< Build the PVA-SRAM comparison system
     bool timingCheck = false; ///< Attach the redundant TimingChecker
     FaultPlan faults{};       ///< Fault injection (disabled by default)
+    /** Batched bank-controller ticking (see SystemConfig::batchTicking). */
+    bool batchTicking = true;
 };
 
 /**
@@ -70,6 +72,16 @@ struct SystemConfig
     /** Clocking discipline of the driving Simulation (all systems).
      *  Event is cycle-exact with Exhaustive; see docs/SIMULATION.md. */
     ClockingMode clocking = ClockingMode::Event;
+    /**
+     * Batched bank-controller ticking (PVA systems): the front end
+     * keeps a cached wake cycle per bank controller and skips ticking
+     * controllers that are provably quiescent until then, instead of
+     * ticking all M controllers on every processed cycle. Cycle-exact
+     * by the same wake contract the event core relies on
+     * (docs/PERFORMANCE.md); off reproduces the every-BC-every-cycle
+     * reference behaviour for differential testing.
+     */
+    bool batchTicking = true;
 
     /** The PVA-specific projection of this configuration. */
     PvaConfig
@@ -82,6 +94,7 @@ struct SystemConfig
         p.useSram = use_sram;
         p.timingCheck = timingCheck;
         p.faults = faults;
+        p.batchTicking = batchTicking;
         return p;
     }
 

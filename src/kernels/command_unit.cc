@@ -9,15 +9,24 @@ VectorCommandUnit::VectorCommandUnit(MemorySystem &sys_,
       state(trace_.ops.size(), OpState::Waiting),
       gathered(trace_.ops.size())
 {
+    // Pre-size the per-op result buffers so the issue/complete loop
+    // below never allocates (construction is the warmup phase).
+    for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+        if (trace.ops[i].cmd.isRead)
+            gathered[i].reserve(trace.ops[i].cmd.length);
+    }
+    drained.reserve(16);
 }
 
 bool
 VectorCommandUnit::service()
 {
-    for (Completion &c : sys.drainCompletions()) {
+    sys.drainCompletionsInto(drained);
+    for (Completion &c : drained) {
         std::size_t i = static_cast<std::size_t>(c.tag);
         state[i] = OpState::Completed;
-        gathered[i] = std::move(c.data);
+        gathered[i].assign(c.data.begin(), c.data.end());
+        sys.recycleLine(std::move(c.data));
         ++completedCount;
     }
 

@@ -49,6 +49,11 @@ class VectorCommandUnit
     const KernelTrace &trace;
     std::vector<OpState> state;
     std::vector<std::vector<Word>> gathered;
+    /** Drain buffer reused across service() calls: completions shuttle
+     *  between this vector and the memory system's without touching
+     *  the allocator (drainCompletionsInto swaps storage), and each
+     *  consumed line buffer is handed back via recycleLine(). */
+    std::vector<Completion> drained;
     std::size_t completedCount = 0;
     std::size_t scanFrom = 0; ///< First op not yet completed
 };

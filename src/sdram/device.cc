@@ -8,21 +8,18 @@
 namespace pva
 {
 
-bool
-BankDevice::popReady(Cycle now, ReadReturn &out)
-{
-    if (pending.empty() || pending.front().readyAt > now)
-        return false;
-    out = pending.front();
-    pending.pop_front();
-    return true;
-}
-
 SdramDevice::SdramDevice(std::string name, unsigned bank_index,
                          const Geometry &geo, const SdramTiming &timing,
                          SparseMemory &backing)
     : BankDevice(std::move(name), bank_index, geo, backing), times(timing),
-      ibanks(geo.internalBanks())
+      accessReady(geo.internalBanks(), 0),
+      prechargeReady(geo.internalBanks(), 0),
+      activateReady(geo.internalBanks(), 0),
+      openRows(geo.internalBanks(), 0),
+      lastOpenedRows(geo.internalBanks(), 0),
+      rowOpen(geo.internalBanks(), 0),
+      everOpened(geo.internalBanks(), 0),
+      freshActivate(geo.internalBanks(), 0)
 {
 }
 
@@ -45,17 +42,16 @@ SdramDevice::applyRefresh(Cycle now)
             PVA_TRACE_END(traceTrack(), now + times.tRFC, "refresh");
         });
     refreshBusyUntil = std::max(refreshBusyUntil, now + times.tRFC);
-    for (InternalBank &ib : ibanks) {
-        ib.open = false;
-        ib.activateReadyAt =
-            std::max(ib.activateReadyAt, refreshBusyUntil);
+    for (std::size_t b = 0; b < rowOpen.size(); ++b) {
+        rowOpen[b] = 0;
+        activateReady[b] = std::max(activateReady[b], refreshBusyUntil);
     }
     if (checker)
         checker->onRefresh(bankIndex, now, refreshBusyUntil);
 }
 
 void
-SdramDevice::tick(Cycle now)
+SdramDevice::tickRefresh(Cycle now)
 {
     if (injector && injector->refreshStall()) {
         ++statInjectedRefreshes;
@@ -93,10 +89,10 @@ SdramDevice::nextTimingEventAfter(Cycle now) const
     if (lastCommandCycle != kNeverCycle)
         consider(lastCommandCycle + 1); // command bus frees
     consider(refreshBusyUntil);
-    for (const InternalBank &ib : ibanks) {
-        consider(ib.accessReadyAt);
-        consider(ib.prechargeReadyAt);
-        consider(ib.activateReadyAt);
+    for (std::size_t b = 0; b < accessReady.size(); ++b) {
+        consider(accessReady[b]);
+        consider(prechargeReady[b]);
+        consider(activateReady[b]);
     }
     if (anyDataYet) {
         // First cycles at which the data-pin occupancy / turnaround
@@ -131,19 +127,20 @@ SdramDevice::canIssue(const DeviceOp &op, Cycle now) const
     switch (op.kind) {
       case DeviceOp::Kind::Activate: {
         DeviceCoords c = geometry.decompose(op.addr);
-        const InternalBank &ib = ibanks[c.internalBank];
-        return !ib.open && now >= ib.activateReadyAt;
+        return rowOpen[c.internalBank] == 0 &&
+               now >= activateReady[c.internalBank];
       }
-      case DeviceOp::Kind::Precharge: {
-        const InternalBank &ib = ibanks[op.internalBank];
-        return ib.open && now >= ib.prechargeReadyAt;
-      }
+      case DeviceOp::Kind::Precharge:
+        return rowOpen[op.internalBank] != 0 &&
+               now >= prechargeReady[op.internalBank];
       case DeviceOp::Kind::Read:
       case DeviceOp::Kind::Write: {
         DeviceCoords c = geometry.decompose(op.addr);
-        const InternalBank &ib = ibanks[c.internalBank];
-        if (!ib.open || ib.row != c.row || now < ib.accessReadyAt)
+        unsigned ib = c.internalBank;
+        if (rowOpen[ib] == 0 || openRows[ib] != c.row ||
+            now < accessReady[ib]) {
             return false;
+        }
         // With auto-precharge the device delays the internal precharge
         // until tRAS/tWR allow, so no extra condition here.
         Cycle data = dataCycleOf(op, now);
@@ -178,25 +175,24 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
     switch (op.kind) {
       case DeviceOp::Kind::Activate: {
         DeviceCoords c = geometry.decompose(op.addr);
-        InternalBank &ib = ibanks[c.internalBank];
-        ib.open = true;
-        ib.row = c.row;
-        ib.lastOpenedRow = c.row;
-        ib.everOpened = true;
-        ib.freshActivate = true;
-        ib.accessReadyAt = now + times.tRCD;
-        ib.prechargeReadyAt = now + times.tRAS;
-        ib.activateReadyAt = now + times.tRC;
+        unsigned ib = c.internalBank;
+        rowOpen[ib] = 1;
+        openRows[ib] = c.row;
+        lastOpenedRows[ib] = c.row;
+        everOpened[ib] = 1;
+        freshActivate[ib] = 1;
+        accessReady[ib] = now + times.tRCD;
+        prechargeReady[ib] = now + times.tRAS;
+        activateReady[ib] = now + times.tRC;
         ++statActivates;
         PVA_TRACE_INSTANT(traceTrack(), now, "activate", "ibank",
                           c.internalBank, "row", c.row);
         break;
       }
       case DeviceOp::Kind::Precharge: {
-        InternalBank &ib = ibanks[op.internalBank];
-        ib.open = false;
-        ib.activateReadyAt =
-            std::max(ib.activateReadyAt, now + times.tRP);
+        unsigned ib = op.internalBank;
+        rowOpen[ib] = 0;
+        activateReady[ib] = std::max(activateReady[ib], now + times.tRP);
         ++statPrecharges;
         PVA_TRACE_INSTANT(traceTrack(), now, "precharge", "ibank",
                           op.internalBank);
@@ -205,7 +201,7 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
       case DeviceOp::Kind::Read:
       case DeviceOp::Kind::Write: {
         DeviceCoords c = geometry.decompose(op.addr);
-        InternalBank &ib = ibanks[c.internalBank];
+        unsigned ib = c.internalBank;
         bool is_read = op.kind == DeviceOp::Kind::Read;
         Cycle data = dataCycleOf(op, now);
         PVA_TRACE_BLOCK(
@@ -218,23 +214,27 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
         lastDataWasRead = is_read;
         anyDataYet = true;
 
-        if (!ib.freshActivate)
+        if (!freshActivate[ib])
             ++statRowHitAccesses;
-        ib.freshActivate = false;
+        freshActivate[ib] = 0;
 
         if (is_read) {
             ++statReads;
             Word value = memory.read(op.addr);
             if (checker)
                 checker->onReadData(bankIndex, op, value);
-            pending.push_back({data, value, op.txn, op.slot});
+            ReadReturn &rr = pending.pushBack();
+            rr.readyAt = data;
+            rr.data = value;
+            rr.txn = op.txn;
+            rr.slot = op.slot;
         } else {
             ++statWrites;
             memory.write(op.addr, op.writeData);
             if (checker)
                 checker->onWriteData(bankIndex, op);
-            ib.prechargeReadyAt =
-                std::max(ib.prechargeReadyAt, data + times.tWR);
+            prechargeReady[ib] =
+                std::max(prechargeReady[ib], data + times.tWR);
         }
 
         if (op.autoPrecharge) {
@@ -242,11 +242,11 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
             // tWR are satisfied; from the controller's view the row is
             // closed now and a new activate is legal tRP after that.
             Cycle internal_start =
-                std::max(ib.prechargeReadyAt,
+                std::max(prechargeReady[ib],
                          is_read ? now + 1 : data + times.tWR);
-            ib.open = false;
-            ib.activateReadyAt =
-                std::max(ib.activateReadyAt, internal_start + times.tRP);
+            rowOpen[ib] = 0;
+            activateReady[ib] =
+                std::max(activateReady[ib], internal_start + times.tRP);
             ++statPrecharges;
             PVA_TRACE_INSTANT(traceTrack(), now, "auto_precharge",
                               "ibank", c.internalBank);
@@ -256,34 +256,12 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
     }
 }
 
-bool
-SdramDevice::anyRowOpen(unsigned ibank) const
+void
+SdramDevice::throwClosedRowQuery(unsigned ibank) const
 {
-    return ibanks[ibank].open;
-}
-
-bool
-SdramDevice::isRowOpen(unsigned ibank, std::uint32_t row) const
-{
-    return ibanks[ibank].open && ibanks[ibank].row == row;
-}
-
-std::uint32_t
-SdramDevice::openRow(unsigned ibank) const
-{
-    if (!ibanks[ibank].open) {
-        throw SimError(SimErrorKind::Protocol, name(), kNeverCycle,
-                       csprintf("openRow queried on closed internal "
-                                "bank %u", ibank));
-    }
-    return ibanks[ibank].row;
-}
-
-std::uint32_t
-SdramDevice::lastRow(unsigned ibank) const
-{
-    return ibanks[ibank].everOpened ? ibanks[ibank].lastOpenedRow
-                                    : 0xffffffffu;
+    throw SimError(SimErrorKind::Protocol, name(), kNeverCycle,
+                   csprintf("openRow queried on closed internal bank %u",
+                            ibank));
 }
 
 void

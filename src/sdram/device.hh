@@ -13,13 +13,21 @@
  * the current cycle and issue() to commit an operation. At most one
  * command per cycle may be issued (one command bus). Read data appears
  * tCL cycles later and is retrieved with popReady().
+ *
+ * Hot-path layout (docs/PERFORMANCE.md): the per-internal-bank state
+ * lives in struct-of-arrays form — the three restimer deadlines in
+ * contiguous Cycle arrays scanned by nextTimingEventAfter(), the
+ * open/row registers in parallel arrays touched by the row predicates
+ * the bank-controller scheduler polls every cycle. The row predicates
+ * and the idle-tick fast path are defined inline and SdramDevice is
+ * final, so a caller holding a concrete SdramDevice* (the bank
+ * controller's devirtualized fast path) pays no virtual dispatch.
  */
 
 #ifndef PVA_SDRAM_DEVICE_HH
 #define PVA_SDRAM_DEVICE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -27,6 +35,7 @@
 #include "sim/component.hh"
 #include "sim/fault.hh"
 #include "sim/memory.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -115,7 +124,15 @@ class BankDevice : public Component
     virtual std::uint32_t lastRow(unsigned ibank) const = 0;
 
     /** Pop a read completion whose data is valid at or before @p now. */
-    bool popReady(Cycle now, ReadReturn &out);
+    bool
+    popReady(Cycle now, ReadReturn &out)
+    {
+        if (pending.empty() || pending.front().readyAt > now)
+            return false;
+        out = pending.front();
+        pending.popFront();
+        return true;
+    }
 
     /** True iff no read data remains in flight. */
     bool quiescent() const { return pending.empty(); }
@@ -147,11 +164,11 @@ class BankDevice : public Component
     const Geometry &geometry;
     SparseMemory &memory;
     TimingChecker *checker = nullptr;
-    std::deque<ReadReturn> pending; ///< Ordered by readyAt.
+    RingDeque<ReadReturn> pending; ///< Ordered by readyAt.
 };
 
 /** The dynamic-RAM device with full timing state. */
-class SdramDevice : public BankDevice
+class SdramDevice final : public BankDevice
 {
   public:
     SdramDevice(std::string name, unsigned bank_index, const Geometry &geo,
@@ -159,10 +176,32 @@ class SdramDevice : public BankDevice
 
     bool canIssue(const DeviceOp &op, Cycle now) const override;
     void issue(const DeviceOp &op, Cycle now) override;
-    bool anyRowOpen(unsigned ibank) const override;
-    bool isRowOpen(unsigned ibank, std::uint32_t row) const override;
-    std::uint32_t openRow(unsigned ibank) const override;
-    std::uint32_t lastRow(unsigned ibank) const override;
+
+    bool
+    anyRowOpen(unsigned ibank) const override
+    {
+        return rowOpen[ibank] != 0;
+    }
+
+    bool
+    isRowOpen(unsigned ibank, std::uint32_t row) const override
+    {
+        return rowOpen[ibank] != 0 && openRows[ibank] == row;
+    }
+
+    std::uint32_t
+    openRow(unsigned ibank) const override
+    {
+        if (rowOpen[ibank] == 0)
+            throwClosedRowQuery(ibank);
+        return openRows[ibank];
+    }
+
+    std::uint32_t
+    lastRow(unsigned ibank) const override
+    {
+        return everOpened[ibank] ? lastOpenedRows[ibank] : 0xffffffffu;
+    }
 
     /**
      * Apply pending auto-refresh: at each tREFI boundary all internal
@@ -170,9 +209,15 @@ class SdramDevice : public BankDevice
      * Called by the bank controller at the top of every processed
      * cycle; under event clocking it catches up on every boundary the
      * skipped span crossed, in order, so the refresh count and row
-     * state match the exhaustive stepper exactly.
+     * state match the exhaustive stepper exactly. The common case —
+     * refresh disabled, no fault injector — is an inline early-out.
      */
-    void tick(Cycle now) override;
+    void
+    tick(Cycle now) override
+    {
+        if (injector || times.tREFI != 0)
+            tickRefresh(now);
+    }
 
     Cycle nextTimingEventAfter(Cycle now) const override;
 
@@ -193,26 +238,35 @@ class SdramDevice : public BankDevice
     void registerStats(StatSet &set, const std::string &prefix) const;
 
   private:
-    struct InternalBank
-    {
-        bool open = false;
-        std::uint32_t row = 0;
-        std::uint32_t lastOpenedRow = 0;
-        bool everOpened = false;
-        bool freshActivate = false; ///< No access since last activate
-        Cycle accessReadyAt = 0;    ///< tRCD satisfied
-        Cycle prechargeReadyAt = 0; ///< tRAS / tWR satisfied
-        Cycle activateReadyAt = 0;  ///< tRP / tRC satisfied
-    };
-
     /** When would @p op's word occupy the device data pins? */
     Cycle dataCycleOf(const DeviceOp &op, Cycle now) const;
 
     /** Close every internal bank and hold the device busy for tRFC. */
     void applyRefresh(Cycle now);
 
+    /** Refresh/fault slow path behind the inline tick() early-out. */
+    void tickRefresh(Cycle now);
+
+    [[noreturn]] void throwClosedRowQuery(unsigned ibank) const;
+
     SdramTiming times;
-    std::vector<InternalBank> ibanks;
+
+    /** @name Per-internal-bank state, struct-of-arrays
+     * Indexed by internal bank. The three restimer deadline arrays are
+     * contiguous so the wake scan in nextTimingEventAfter() walks flat
+     * Cycle memory; the row registers sit in their own arrays for the
+     * scheduler's row predicates.
+     * @{ */
+    std::vector<Cycle> accessReady;    ///< tRCD satisfied
+    std::vector<Cycle> prechargeReady; ///< tRAS / tWR satisfied
+    std::vector<Cycle> activateReady;  ///< tRP / tRC satisfied
+    std::vector<std::uint32_t> openRows;
+    std::vector<std::uint32_t> lastOpenedRows;
+    std::vector<std::uint8_t> rowOpen;
+    std::vector<std::uint8_t> everOpened;
+    std::vector<std::uint8_t> freshActivate; ///< No access since activate
+    /** @} */
+
     std::unique_ptr<FaultInjector> injector;
 
     Cycle lastCommandCycle = kNeverCycle; ///< One command bus per device

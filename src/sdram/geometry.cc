@@ -25,20 +25,6 @@ Geometry::Geometry(unsigned banks, unsigned interleave, unsigned col_bits,
     nBits = log2Exact(interleave);
 }
 
-DeviceCoords
-Geometry::decompose(WordAddr w) const
-{
-    WordAddr local = bankLocal(w);
-    DeviceCoords c;
-    c.col = static_cast<std::uint32_t>(local & ((1ULL << columnBits) - 1));
-    c.internalBank = static_cast<unsigned>(
-        (local >> columnBits) & ((1ULL << ibankBits) - 1));
-    c.row = static_cast<std::uint32_t>(
-        (local >> (columnBits + ibankBits)) &
-        ((1ULL << rowAddressBits) - 1));
-    return c;
-}
-
 WordAddr
 Geometry::compose(unsigned bank, const DeviceCoords &c) const
 {

@@ -88,8 +88,23 @@ class Geometry
         return (block << nBits) | offset;
     }
 
-    /** Map a flat word address to device coordinates within its bank. */
-    DeviceCoords decompose(WordAddr w) const;
+    /** Map a flat word address to device coordinates within its bank.
+     *  Inline: the restimer scoreboard decomposes every candidate op
+     *  on the scheduler hot path. */
+    DeviceCoords
+    decompose(WordAddr w) const
+    {
+        WordAddr local = bankLocal(w);
+        DeviceCoords c;
+        c.col =
+            static_cast<std::uint32_t>(local & ((1ULL << columnBits) - 1));
+        c.internalBank = static_cast<unsigned>(
+            (local >> columnBits) & ((1ULL << ibankBits) - 1));
+        c.row = static_cast<std::uint32_t>(
+            (local >> (columnBits + ibankBits)) &
+            ((1ULL << rowAddressBits) - 1));
+        return c;
+    }
 
     /** Inverse of decompose() for bank @p bank. */
     WordAddr compose(unsigned bank, const DeviceCoords &c) const;

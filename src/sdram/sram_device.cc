@@ -66,7 +66,11 @@ SramDevice::issue(const DeviceOp &op, Cycle now)
         Word value = memory.read(op.addr);
         if (checker)
             checker->onReadData(bankIndex, op, value);
-        pending.push_back({now + 1, value, op.txn, op.slot});
+        ReadReturn &rr = pending.pushBack();
+        rr.readyAt = now + 1;
+        rr.data = value;
+        rr.txn = op.txn;
+        rr.slot = op.slot;
     } else {
         ++statWrites;
         memory.write(op.addr, op.writeData);

@@ -20,7 +20,7 @@ namespace pva
 {
 
 /** Single-cycle static-RAM bank. */
-class SramDevice : public BankDevice
+class SramDevice final : public BankDevice
 {
   public:
     SramDevice(std::string name, unsigned bank_index, const Geometry &geo,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "baselines/cacheline_system.hh"
+#include "baselines/gathering_system.hh"
+#include "core/pva_unit.hh"
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
 #include "sim/trace.hh"
@@ -48,10 +51,81 @@ Simulation::Simulation(ClockingMode mode) : mode(mode)
 }
 
 void
+Simulation::add(Component *c)
+{
+    CompKind kind = CompKind::Generic;
+    if (dynamic_cast<PvaUnit *>(c))
+        kind = CompKind::Pva;
+    else if (dynamic_cast<GatheringSystem *>(c))
+        kind = CompKind::Gathering;
+    else if (dynamic_cast<CacheLineSystem *>(c))
+        kind = CompKind::CacheLine;
+    components.push_back({c, kind});
+}
+
+void
+Simulation::tickOne(const TickEntry &e, Cycle now)
+{
+    // The typed casts dispatch directly: the hot methods are declared
+    // final on these classes, so no vtable load is involved.
+    switch (e.kind) {
+      case CompKind::Pva:
+        static_cast<PvaUnit *>(e.c)->tick(now);
+        return;
+      case CompKind::Gathering:
+        static_cast<GatheringSystem *>(e.c)->tick(now);
+        return;
+      case CompKind::CacheLine:
+        static_cast<CacheLineSystem *>(e.c)->tick(now);
+        return;
+      case CompKind::Generic:
+        break;
+    }
+    e.c->tick(now);
+}
+
+void
+Simulation::beginOne(const TickEntry &e, Cycle now)
+{
+    switch (e.kind) {
+      case CompKind::Pva:
+        static_cast<PvaUnit *>(e.c)->onCycleBegin(now);
+        return;
+      case CompKind::Gathering:
+        static_cast<GatheringSystem *>(e.c)->onCycleBegin(now);
+        return;
+      case CompKind::CacheLine:
+        static_cast<CacheLineSystem *>(e.c)->onCycleBegin(now);
+        return;
+      case CompKind::Generic:
+        break;
+    }
+    e.c->onCycleBegin(now);
+}
+
+Cycle
+Simulation::wakeOne(const TickEntry &e, Cycle now)
+{
+    switch (e.kind) {
+      case CompKind::Pva:
+        return static_cast<const PvaUnit *>(e.c)->nextWakeAfter(now);
+      case CompKind::Gathering:
+        return static_cast<const GatheringSystem *>(e.c)
+            ->nextWakeAfter(now);
+      case CompKind::CacheLine:
+        return static_cast<const CacheLineSystem *>(e.c)
+            ->nextWakeAfter(now);
+      case CompKind::Generic:
+        break;
+    }
+    return e.c->nextWakeAfter(now);
+}
+
+void
 Simulation::step()
 {
-    for (Component *c : components)
-        c->tick(currentCycle);
+    for (const TickEntry &e : components)
+        tickOne(e, currentCycle);
     ++currentCycle;
     ++ticksProcessed;
 }
@@ -105,8 +179,8 @@ Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
     std::uint64_t cycles_since = 0;
 
     while (true) {
-        for (Component *c : components)
-            c->onCycleBegin(currentCycle);
+        for (const TickEntry &e : components)
+            beginOne(e, currentCycle);
         if (done())
             return currentCycle;
         if (currentCycle - start >= max_cycles) {
@@ -134,8 +208,8 @@ Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
             }
         }
 
-        for (Component *c : components)
-            c->tick(currentCycle);
+        for (const TickEntry &e : components)
+            tickOne(e, currentCycle);
         ++ticksProcessed;
 
         Cycle next = currentCycle + 1;
@@ -145,11 +219,11 @@ Simulation::runUntil(const std::function<bool()> &done, Cycle max_cycles,
             // ties keep the first (registration-order) component,
             // matching the old std::min fold exactly.
             const Component *waker = nullptr;
-            for (const Component *c : components) {
-                Cycle w = c->nextWakeAfter(currentCycle);
+            for (const TickEntry &e : components) {
+                Cycle w = wakeOne(e, currentCycle);
                 if (w < next) {
                     next = w;
-                    waker = c;
+                    waker = e.c;
                 }
             }
             while (!wakeHeap.empty() && wakeHeap.top() <= currentCycle)

@@ -82,6 +82,51 @@ TraceSession::TraceSession(TraceConfig config) : cfg(std::move(config))
     if (cfg.bufferCapacity == 0)
         cfg.bufferCapacity = 1;
     buffer.resize(cfg.bufferCapacity);
+    profPeriod = cfg.profilePeriod;
+}
+
+void
+TraceSession::profileSample(std::uint32_t track, const char *name)
+{
+    std::lock_guard<std::mutex> lock(profileMutex);
+    ++profileCounts[{track, name}];
+}
+
+std::uint64_t
+TraceSession::profileSamples() const
+{
+    if (profPeriod == 0)
+        return 0;
+    std::uint64_t clock = profClock.load(std::memory_order_relaxed);
+    return (clock + profPeriod - 1) / profPeriod;
+}
+
+std::vector<ProfileEntry>
+TraceSession::profileReport() const
+{
+    std::vector<ProfileEntry> report;
+    {
+        std::lock_guard<std::mutex> prof_lock(profileMutex);
+        std::lock_guard<std::mutex> reg_lock(registryMutex);
+        report.reserve(profileCounts.size());
+        for (const auto &[key, samples] : profileCounts) {
+            ProfileEntry e;
+            std::uint32_t track = key.first;
+            if (track >= 1 && track <= tracks.size()) {
+                e.process = tracks[track - 1].process;
+                e.track = tracks[track - 1].track;
+            }
+            e.name = key.second;
+            e.samples = samples;
+            e.estimatedEvents = samples * profPeriod;
+            report.push_back(std::move(e));
+        }
+    }
+    std::stable_sort(report.begin(), report.end(),
+                     [](const ProfileEntry &a, const ProfileEntry &b) {
+                         return a.samples > b.samples;
+                     });
+    return report;
 }
 
 std::uint32_t

@@ -50,8 +50,10 @@
 #include <atomic>
 #include <cstddef>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pva::trace
@@ -99,6 +101,26 @@ struct TraceConfig
      * everything.
      */
     std::string filter;
+    /**
+     * Sampling-profiler period: every Nth record() call is tallied
+     * into a per-(track, event) histogram (see profileReport()), so
+     * the hot-path cost of profiling is one relaxed counter increment
+     * per event plus rare sampled updates. 0 disables profiling.
+     * Sampling keeps running after the event buffer fills, so the
+     * profile covers the whole run even when the trace does not.
+     */
+    std::uint32_t profilePeriod = 0;
+};
+
+/** One row of the sampling profile (see TraceSession::profileReport). */
+struct ProfileEntry
+{
+    std::string process;
+    std::string track;
+    const char *name = nullptr;
+    std::uint64_t samples = 0;
+    /** samples * period: the statistically expected event count. */
+    std::uint64_t estimatedEvents = 0;
 };
 
 /**
@@ -132,6 +154,11 @@ class TraceSession
     {
         if (track == 0)
             return;
+        if (profPeriod != 0 &&
+            profClock.fetch_add(1, std::memory_order_relaxed) %
+                    profPeriod ==
+                0)
+            profileSample(track, name);
         std::size_t slot =
             head.fetch_add(1, std::memory_order_relaxed);
         if (slot >= buffer.size())
@@ -157,6 +184,16 @@ class TraceSession
     /** Copy of the retained events, in record order (for tests). */
     std::vector<Event> snapshot() const;
 
+    /** @name Sampling profiler (TraceConfig::profilePeriod)
+     * @{ */
+    /** Sampling period in effect (0 = profiling off). */
+    std::uint32_t profilePeriod() const { return profPeriod; }
+    /** Samples taken so far. */
+    std::uint64_t profileSamples() const;
+    /** Per-(track, event) sample tallies, most-sampled first. */
+    std::vector<ProfileEntry> profileReport() const;
+    /** @} */
+
     /**
      * Write the whole session as Chrome trace JSON: a traceEvents
      * array (sorted by timestamp, stable within a cycle) plus
@@ -173,9 +210,19 @@ class TraceSession
         std::uint32_t pid = 0; ///< 1-based process index
     };
 
+    /** Tally one sampled event (rare: every profPeriod-th record). */
+    void profileSample(std::uint32_t track, const char *name);
+
     TraceConfig cfg;
     std::vector<Event> buffer;
     std::atomic<std::uint64_t> head{0};
+
+    std::uint32_t profPeriod = 0;
+    std::atomic<std::uint64_t> profClock{0};
+    mutable std::mutex profileMutex;
+    /** (track id, interned event name) -> sample count. */
+    std::map<std::pair<std::uint32_t, const char *>, std::uint64_t>
+        profileCounts;
 
     mutable std::mutex registryMutex;
     std::vector<TrackMeta> tracks;      ///< index = id - 1

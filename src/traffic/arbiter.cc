@@ -139,7 +139,9 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
     bool changed = false;
 
     // --- 1. Completions. ---------------------------------------------
-    for (Completion &c : sys.drainCompletions()) {
+    sys.drainCompletionsInto(drainedCompletions);
+    for (Completion &c : drainedCompletions) {
+        sys.recycleLine(std::move(c.data));
         auto it = inFlight.find(c.tag);
         if (it == inFlight.end())
             continue; // not ours (defensive; tags are arbiter-issued)

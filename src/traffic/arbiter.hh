@@ -141,6 +141,9 @@ class StreamArbiter
     ServiceStats &stats;
     std::vector<std::deque<TrafficRequest>> queues;
     std::unordered_map<std::uint64_t, InFlight> inFlight;
+    /** Drain buffer reused across service() steps (storage shuttles
+     *  between arbiter and memory system; lines are recycled). */
+    std::vector<Completion> drainedCompletions;
     std::uint64_t nextTag = 0;
     unsigned lastGranted = 0; ///< RoundRobin cursor
     std::uint32_t traceTrackId = 0;

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Heap-allocation regression test for the saturated tick path.
+ *
+ * The hot-path engineering contract (docs/PERFORMANCE.md) is that the
+ * steady-state tick loop performs no heap allocation: subcommand
+ * FIFOs and vector-context queues live in capacity-preserving
+ * RingDeques, staging lines come from the unit's line pool, and the
+ * completion hand-off reuses drained buffers. This test replaces the
+ * global operator new with a counting wrapper, warms a PVA system
+ * with one full stride-16 run (pools, queues and latency histograms
+ * grow to their steady-state capacity), then runs a second full
+ * kernel on the same simulation clock and asserts the allocation
+ * counter did not move between the start of the second run and its
+ * last completion.
+ *
+ * The override counts every allocation in the whole test binary; the
+ * other tests are unaffected beyond the one relaxed increment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "kernels/command_unit.hh"
+#include "kernels/runner.hh"
+#include "kernels/sweep.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> allocCount{0};
+
+} // anonymous namespace
+
+void *
+operator new(std::size_t n)
+{
+    allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace pva
+{
+namespace
+{
+
+TEST(AllocFree, SaturatedTickPathAllocatesNothingAfterWarmup)
+{
+    SystemConfig config;
+    auto sys = makeSystem(SystemKind::PvaSdram, config);
+
+    const KernelSpec &spec = kernelSpec(KernelId::Copy);
+    WorkloadConfig wl;
+    wl.stride = 16;
+    wl.elements = 4096;
+    wl.lineWords = config.bc.lineWords;
+    wl.streamBases = streamBases(alignmentPresets()[0],
+                                 spec.numStreams, 16, wl.elements);
+
+    // One simulation clock for both passes: the device's resource
+    // timers hold absolute cycles, so restarting the clock would give
+    // the second pass artificial head-of-run waits (and larger
+    // latency-histogram samples than warmup provisioned for).
+    Simulation sim(ClockingMode::Event);
+    sim.add(sys.get());
+
+    // Warmup: one full run grows every pool, queue, scratch buffer
+    // and stat histogram to its steady-state capacity.
+    {
+        KernelTrace warm = buildTrace(spec, wl, sys->memory());
+        VectorCommandUnit vcu(*sys, warm);
+        sim.runUntil([&] { return vcu.service(); }, 50000000);
+        ASSERT_EQ(verifyTrace(warm, sys->memory()), 0u);
+    }
+
+    // Second pass, with construction — trace build, command unit —
+    // outside the counted window. Only the clocked region must be
+    // allocation-free.
+    KernelTrace trace = buildTrace(spec, wl, sys->memory());
+    VectorCommandUnit vcu(*sys, trace);
+
+    std::uint64_t before = allocCount.load(std::memory_order_relaxed);
+    sim.runUntil([&] { return vcu.service(); }, 50000000);
+    std::uint64_t after = allocCount.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "the saturated tick path heap-allocated "
+        << (after - before) << " times after warmup";
+    EXPECT_EQ(verifyTrace(trace, sys->memory()), 0u);
+}
+
+} // anonymous namespace
+} // namespace pva

@@ -116,6 +116,60 @@ INSTANTIATE_TEST_SUITE_P(AllSystems, EventClockingGrid,
                                  systemShortName(info.param));
                          });
 
+void
+expectBatchingParity(SystemKind kind, SystemConfig config,
+                     KernelId kernel, std::uint32_t stride,
+                     ClockingMode mode)
+{
+    config.batchTicking = true;
+    Outcome batched = runKernelPoint(kind, config, kernel, stride,
+                                     mode);
+    config.batchTicking = false;
+    Outcome reference = runKernelPoint(kind, config, kernel, stride,
+                                       mode);
+    EXPECT_EQ(batched.cycles, reference.cycles)
+        << systemShortName(kind) << "/" << kernelSpec(kernel).name
+        << " stride " << stride << " " << clockingModeName(mode);
+    EXPECT_EQ(batched.mismatches, 0u);
+    EXPECT_EQ(reference.mismatches, 0u);
+    EXPECT_EQ(batched.stats, reference.stats)
+        << systemShortName(kind) << "/" << kernelSpec(kernel).name
+        << " stride " << stride << " " << clockingModeName(mode);
+}
+
+TEST_P(EventClockingGrid, BatchedTickingMatchesReferenceAcrossGrid)
+{
+    // batchTicking=false ticks every bank controller every processed
+    // cycle (the pre-optimization reference behaviour); true skips
+    // controllers whose cached wake lies in the future. The two must
+    // agree bit-for-bit — cycle count and the entire stat set — on
+    // every system, under both steppers, with the checker attached.
+    SystemConfig config;
+    config.timingCheck = true;
+    for (KernelId k : {KernelId::Copy, KernelId::Vaxpy}) {
+        for (std::uint32_t stride : {1u, 16u, 19u}) {
+            for (ClockingMode mode :
+                 {ClockingMode::Exhaustive, ClockingMode::Event})
+                expectBatchingParity(GetParam(), config, k, stride,
+                                     mode);
+        }
+    }
+}
+
+TEST(EventClocking, BatchedTickingMatchesReferenceUnderRefresh)
+{
+    // Refresh is the hard case for batching: an idle controller must
+    // still wake at every tREFI boundary to run the device's refresh
+    // clock, or dev.refreshes diverges.
+    SystemConfig config;
+    config.timingCheck = true;
+    config.timing.tREFI = 700;
+    for (SystemKind kind :
+         {SystemKind::PvaSdram, SystemKind::CacheLine})
+        expectBatchingParity(kind, config, KernelId::Copy, 19,
+                             ClockingMode::Event);
+}
+
 TEST(EventClocking, RefreshScheduleIsCycleExact)
 {
     SystemConfig config;

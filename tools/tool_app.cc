@@ -1,5 +1,6 @@
 #include "tool_app.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -192,6 +193,18 @@ ToolApp::addSystemFlags(SystemConfig &config)
            });
     flag("--check", "attach the redundant timing/data checker",
          [&config] { config.timingCheck = true; });
+    option("--batching", "on|off",
+           "batched bank-controller ticking (off = tick every BC "
+           "every cycle, the reference behaviour)",
+           [&config](const std::string &v) {
+               if (v == "on")
+                   config.batchTicking = true;
+               else if (v == "off")
+                   config.batchTicking = false;
+               else
+                   fatal("--batching expects 'on' or 'off', got '%s'",
+                         v.c_str());
+           });
     numOption("--fault-seed", "N", "fault-injection RNG seed",
               [&config](unsigned long long n) {
                   config.faults.seed = n;
@@ -268,6 +281,21 @@ ToolApp::addTraceFlags()
               [this](unsigned long long n) {
                   trace.bufferCap = n;
               });
+    flag("--profile",
+         "sampling profile of trace events, reported after the run "
+         "(needs PVA_TRACE=ON)",
+         [this] {
+             if (trace.profilePeriod == 0)
+                 trace.profilePeriod = 64;
+         });
+    numOption("--profile-period", "N",
+              "sample every Nth trace event (implies --profile)",
+              [this](unsigned long long n) {
+                  if (n == 0 || n > UINT32_MAX)
+                      fatal("--profile-period expects 1..2^32-1");
+                  trace.profilePeriod =
+                      static_cast<std::uint32_t>(n);
+              });
 }
 
 const ToolApp::Spec *
@@ -338,16 +366,20 @@ int
 ToolApp::run(const std::function<int()> &body)
 {
 #if PVA_TRACE_ENABLED
-    if (trace.active()) {
+    if (trace.active() || trace.profiling()) {
         trace::TraceConfig tc;
         tc.bufferCapacity = trace.bufferCap;
         tc.filter = trace.filter;
+        tc.profilePeriod = trace.profilePeriod;
         traceState->session.emplace(tc);
         trace::setSession(&*traceState->session);
     }
 #else
     if (trace.active())
         fatal("--trace-out needs a traced build; configure with "
+              "-DPVA_TRACE=ON");
+    if (trace.profiling())
+        fatal("--profile needs a traced build; configure with "
               "-DPVA_TRACE=ON");
 #endif
 
@@ -368,14 +400,39 @@ ToolApp::run(const std::function<int()> &body)
         trace::TraceSession &s = *traceState->session;
         traceState->recorded = s.recorded();
         traceState->dropped = s.dropped();
-        std::ofstream out(trace.outPath);
-        if (!out)
-            fatal("cannot open '%s'", trace.outPath.c_str());
-        s.exportChromeJson(out);
-        inform("trace: %llu events (%llu dropped) on %zu tracks -> %s",
-               static_cast<unsigned long long>(traceState->recorded),
-               static_cast<unsigned long long>(traceState->dropped),
-               s.trackCount(), trace.outPath.c_str());
+        if (trace.profiling()) {
+            // The sampling profile: where the simulation's activity
+            // (as seen by the PVA_TRACE instrumentation) concentrated.
+            std::vector<trace::ProfileEntry> report =
+                s.profileReport();
+            inform("profile: %llu samples (1 in %u events), top %zu "
+                   "of %zu (track/event: samples ~events)",
+                   static_cast<unsigned long long>(s.profileSamples()),
+                   s.profilePeriod(),
+                   std::min<std::size_t>(report.size(), 20),
+                   report.size());
+            for (std::size_t i = 0; i < report.size() && i < 20; ++i) {
+                const trace::ProfileEntry &e = report[i];
+                inform("  %s/%s %s: %llu ~%llu", e.process.c_str(),
+                       e.track.c_str(), e.name ? e.name : "?",
+                       static_cast<unsigned long long>(e.samples),
+                       static_cast<unsigned long long>(
+                           e.estimatedEvents));
+            }
+        }
+        if (trace.active()) {
+            std::ofstream out(trace.outPath);
+            if (!out)
+                fatal("cannot open '%s'", trace.outPath.c_str());
+            s.exportChromeJson(out);
+            inform("trace: %llu events (%llu dropped) on %zu tracks "
+                   "-> %s",
+                   static_cast<unsigned long long>(
+                       traceState->recorded),
+                   static_cast<unsigned long long>(
+                       traceState->dropped),
+                   s.trackCount(), trace.outPath.c_str());
+        }
         traceState->session.reset();
     }
 #endif

@@ -26,6 +26,7 @@
 #define PVA_TOOLS_TOOL_APP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -47,8 +48,11 @@ struct TraceOptions
     std::string outPath; ///< --trace-out; empty = tracing inactive
     std::string filter;  ///< --trace-filter component glob(s)
     std::size_t bufferCap = 1u << 19; ///< --trace-buffer (events)
+    /** --profile / --profile-period: sampling period (0 = off). */
+    std::uint32_t profilePeriod = 0;
 
     bool active() const { return !outPath.empty(); }
+    bool profiling() const { return profilePeriod != 0; }
 };
 
 /** Declarative flag parser + tool lifecycle (see file comment). */
@@ -90,7 +94,8 @@ class ToolApp
                           double &point_timeout);
     /** --stats/--json. */
     void addOutputFlags(bool &stats, bool &json);
-    /** --trace-out/--trace-filter/--trace-buffer. */
+    /** --trace-out/--trace-filter/--trace-buffer/--profile/
+     *  --profile-period. */
     void addTraceFlags();
     /** @} */
 
