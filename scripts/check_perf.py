@@ -6,9 +6,18 @@ Usage: check_perf.py CURRENT.json BASELINE.json [--tolerance PCT]
 Both files are bench_perf --out records (schemaVersion 1; see
 docs/PERFORMANCE.md). For every scenario in the baseline, the current
 cyclesPerSecond must be no more than --tolerance percent (default 15)
-below the baseline value; being faster never fails. Exit status 1 on
-any regression, missing scenario, or schema mismatch, so the CI perf
-job turns red.
+below the baseline value; being faster never fails.
+
+Exit status is structured so CI steps can tell a real regression from
+a broken input without parsing output (and the script never exits on a
+traceback):
+
+  0  gate passed
+  1  performance regression (or missing/invalid scenario values)
+  2  usage error (bad command line; argparse)
+  3  missing or unreadable input file, or invalid JSON
+  4  schemaVersion mismatch
+  5  no scenarios in a record
 """
 
 import argparse
@@ -17,18 +26,40 @@ import sys
 
 EXPECTED_SCHEMA = 1
 
+EXIT_REGRESSION = 1
+EXIT_BAD_FILE = 3
+EXIT_BAD_SCHEMA = 4
+EXIT_NO_SCENARIOS = 5
+
 
 def load(path):
-    with open(path, encoding="utf-8") as f:
-        record = json.load(f)
+    try:
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f)
+    except OSError as e:
+        print(f"{path}: cannot read: {e.strerror or e}", file=sys.stderr)
+        sys.exit(EXIT_BAD_FILE)
+    except json.JSONDecodeError as e:
+        print(f"{path}: invalid JSON: {e}", file=sys.stderr)
+        sys.exit(EXIT_BAD_FILE)
+    if not isinstance(record, dict):
+        print(f"{path}: expected a JSON object", file=sys.stderr)
+        sys.exit(EXIT_BAD_FILE)
     schema = record.get("schemaVersion")
     if schema != EXPECTED_SCHEMA:
-        sys.exit(f"{path}: schemaVersion {schema!r}, "
-                 f"expected {EXPECTED_SCHEMA}")
+        print(f"{path}: schemaVersion {schema!r}, "
+              f"expected {EXPECTED_SCHEMA}", file=sys.stderr)
+        sys.exit(EXIT_BAD_SCHEMA)
     scenarios = record.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
-        sys.exit(f"{path}: no scenarios")
+        print(f"{path}: no scenarios", file=sys.stderr)
+        sys.exit(EXIT_NO_SCENARIOS)
     return scenarios
+
+
+def cycles_per_second(scenario):
+    value = scenario.get("cyclesPerSecond", 0)
+    return value if isinstance(value, (int, float)) else 0
 
 
 def main():
@@ -50,8 +81,8 @@ def main():
             print(f"FAIL {name}: missing from {args.current}")
             failed = True
             continue
-        base_cps = base.get("cyclesPerSecond", 0)
-        cur_cps = current[name].get("cyclesPerSecond", 0)
+        base_cps = cycles_per_second(base)
+        cur_cps = cycles_per_second(current[name])
         if base_cps <= 0 or cur_cps <= 0:
             print(f"FAIL {name}: non-positive cyclesPerSecond "
                   f"(baseline {base_cps}, current {cur_cps})")
@@ -74,7 +105,7 @@ def main():
     if failed:
         print("perf regression gate FAILED — if the slowdown is "
               "intended, refresh the baseline (docs/PERFORMANCE.md)")
-        return 1
+        return EXIT_REGRESSION
     print("perf regression gate passed")
     return 0
 

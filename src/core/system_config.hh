@@ -119,9 +119,10 @@ struct SystemConfig
         if (bc.lineWords % 2 != 0)
             reject(csprintf("bc.lineWords %u must be even (two words "
                             "per bus data cycle)", bc.lineWords));
-        if (bc.transactions == 0 || bc.transactions > 256)
-            reject(csprintf("bc.transactions %u must be in 1..256 "
-                            "(8-bit transaction ids)",
+        if (bc.transactions == 0 || bc.transactions > 255)
+            reject(csprintf("bc.transactions %u must be in 1..255 "
+                            "(8-bit transaction ids; 256 would wrap "
+                            "the id counters)",
                             bc.transactions));
         if (bc.vectorContexts == 0)
             reject("bc.vectorContexts must be nonzero");

@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdio>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#ifndef _WIN32
+#include <cerrno>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
+
+#include "kernels/repro_capsule.hh"
+#include "kernels/sweep_journal.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
 #include "sim/sim_error.hh"
 
 namespace pva
@@ -19,43 +30,25 @@ namespace
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    return json::escape(s);
 }
 
 /** Per-attempt fault-seed advance: a retry of a fault-injected point
  *  must explore a different fault timeline, not replay the failure. */
 constexpr std::uint64_t kRetrySeedStep = 0x9e3779b97f4a7c15ULL;
+
+/** Create the quarantine directory (existing is fine). */
+void
+ensureDirectory(const std::string &path)
+{
+#ifndef _WIN32
+    if (mkdir(path.c_str(), 0777) != 0 && errno != EEXIST) {
+        throw SimError(SimErrorKind::Config, "quarantine", kNeverCycle,
+                       csprintf("cannot create directory '%s': %s",
+                                path.c_str(), std::strerror(errno)));
+    }
+#endif
+}
 
 } // anonymous namespace
 
@@ -80,7 +73,18 @@ SweepReport::dumpJson(std::ostream &os) const
            << ", \"attempts\": " << f.attempts << ", \"error\": \""
            << jsonEscape(f.error) << "\"}";
     }
-    os << (failures.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    os << (failures.empty() ? "],\n" : "\n  ],\n") << "  \"quarantine\": [";
+    for (std::size_t i = 0; i < quarantine.size(); ++i) {
+        const QuarantineRecord &q = quarantine[i];
+        os << (i ? ",\n    " : "\n    ") << "{\"index\": " << q.index
+           << ", \"attempts\": " << q.attempts << ", \"fingerprint\": \""
+           << csprintf("%016llx",
+                       static_cast<unsigned long long>(q.fingerprint))
+           << "\", \"faultSeed\": " << q.faultSeed << ", \"capsule\": \""
+           << jsonEscape(q.capsulePath) << "\", \"error\": \""
+           << jsonEscape(q.error) << "\"}";
+    }
+    os << (quarantine.empty() ? "]\n" : "\n  ]\n") << "}\n";
 }
 
 SweepExecutor::SweepExecutor(unsigned jobs) : workerCount(jobs)
@@ -166,7 +170,8 @@ SweepExecutor::runTasks(std::size_t count, const TaskFn &task,
                 ++report.failed;
             }
             if (observer)
-                observer({i, attempts, succeeded, millis, done, count});
+                observer({i, attempts, succeeded, millis, done, count,
+                          last_error});
         }
     };
 
@@ -197,26 +202,153 @@ SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
     SweepReport report;
     report.points.resize(grid.size());
 
-    auto task = [&](std::size_t i, unsigned attempt) {
+    const bool journaled = !checkpoint.journalPath.empty();
+    const bool quarantining = !checkpoint.quarantineDir.empty();
+
+    // The effective request of one attempt: the executor's default
+    // wall-clock watchdog, plus the per-retry fault-seed advance (a
+    // retry of a fault-injected point must explore a different fault
+    // timeline, not replay the failure).
+    auto effectiveRequest = [&](std::size_t i, unsigned attempt) {
         SweepRequest req = grid[i];
         if (pointTimeoutMillis > 0.0 &&
             req.limits.timeoutMillis <= 0.0) {
             req.limits.timeoutMillis = pointTimeoutMillis;
         }
-        // A retry of a fault-injected point must explore a different
-        // fault timeline, not replay the failure.
         if (attempt > 0 && req.config.faults.enabled())
             req.config.faults.seed += kRetrySeedStep * attempt;
-        // runPoint builds a fresh system, so each attempt starts from
-        // clean state. Distinct indices write distinct slots, so the
-        // aggregation is race-free and deterministic.
-        report.points[i] = runPoint(req);
+        return req;
+    };
+
+    auto capsulePathFor = [&](std::size_t index) {
+        return checkpoint.quarantineDir +
+               csprintf("/capsule-%zu.json", index);
+    };
+
+    // Restore a journaled point into the report and the executor
+    // stats, exactly as completing it live would have.
+    auto restorePoint = [&](const JournalRecord &rec) {
+        const SweepRequest &req = grid[rec.index];
+        const SweepPoint &p = rec.point;
+        if (p.system != req.system || p.kernel != req.kernel ||
+            p.stride != req.stride || p.alignment != req.alignment) {
+            throw SimError(
+                SimErrorKind::Corruption, "journal", kNeverCycle,
+                csprintf("record %zu does not match the request grid",
+                         rec.index));
+        }
+        report.points[rec.index] = p;
+        ++report.resumed;
+        ++statPoints;
+        statRetries += p.attempts - 1;
+        statSimCycles += p.cycles;
+        statSimTicks += p.simTicks;
+        statCyclesSkipped += p.cyclesSkipped;
+        statMismatches += p.mismatches;
+        report.simTicks += p.simTicks;
+        report.cyclesSkipped += p.cyclesSkipped;
+        switch (p.status) {
+          case PointStatus::Ok:
+            ++report.ok;
+            break;
+          case PointStatus::Retried:
+            ++report.retried;
+            break;
+          case PointStatus::Failed:
+            ++report.failed;
+            ++statFailures;
+            report.failures.push_back({rec.index, req.system,
+                                       req.kernel, req.stride,
+                                       req.alignment, p.attempts,
+                                       rec.error});
+            break;
+        }
+    };
+
+    std::unique_ptr<SweepJournal> journal;
+    std::vector<char> restored(grid.size(), 0);
+    if (journaled) {
+        const std::uint64_t gridFp = fingerprintGrid(grid);
+        std::uint64_t resumeFrom = 0;
+        if (checkpoint.resume) {
+            SweepJournal::LoadResult loaded = SweepJournal::load(
+                checkpoint.journalPath, gridFp, grid.size());
+            if (loaded.exists) {
+                resumeFrom = loaded.validBytes;
+                if (loaded.tornTail) {
+                    warn("checkpoint journal '%s' has a torn final "
+                         "record (crash mid-append); discarding it",
+                         checkpoint.journalPath.c_str());
+                }
+                // Last record wins per index, though a well-formed
+                // journal never repeats one.
+                std::vector<const JournalRecord *> byIndex(grid.size(),
+                                                           nullptr);
+                for (const JournalRecord &rec : loaded.records)
+                    byIndex[rec.index] = &rec;
+                for (std::size_t i = 0; i < grid.size(); ++i) {
+                    if (!byIndex[i])
+                        continue;
+                    restorePoint(*byIndex[i]);
+                    restored[i] = 1;
+                }
+            }
+        }
+        journal = std::make_unique<SweepJournal>(checkpoint.journalPath,
+                                                 gridFp, grid.size(),
+                                                 resumeFrom);
+    }
+    if (quarantining)
+        ensureDirectory(checkpoint.quarantineDir);
+
+    // Only not-yet-restored points run; task index j is a position in
+    // `pending`, everything reported maps back through it.
+    std::vector<std::size_t> pending;
+    pending.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!restored[i])
+            pending.push_back(i);
+    }
+
+    auto task = [&](std::size_t j, unsigned attempt) {
+        const std::size_t i = pending[j];
+        SweepRequest req = effectiveRequest(i, attempt);
+        try {
+            // runPoint builds a fresh system, so each attempt starts
+            // from clean state. Distinct indices write distinct slots,
+            // so the aggregation is race-free and deterministic.
+            report.points[i] = runPoint(req);
+        } catch (const SimError &e) {
+            const bool finalAttempt =
+                e.kind() == SimErrorKind::Watchdog ||
+                attempt + 1 >= attemptBudget;
+            const std::uint64_t fp = fingerprintRequest(req);
+            if (finalAttempt && quarantining) {
+                try {
+                    writeCapsuleFile(capsulePathFor(i),
+                                     {req, attempt + 1, e.what(), fp});
+                } catch (const SimError &werr) {
+                    warn("cannot write repro capsule for point %zu: %s",
+                         i, werr.what());
+                }
+            }
+            // The fingerprint and effective seed name the capsule from
+            // the failure text alone.
+            throw SimError(
+                e.kind(), e.component(), e.cycle(),
+                e.detail() +
+                    csprintf(" [fingerprint=%016llx faultSeed=%llu]",
+                             static_cast<unsigned long long>(fp),
+                             static_cast<unsigned long long>(
+                                 req.config.faults.seed)));
+        }
     };
 
     auto observe = [&](const TaskProgress &tp) {
-        SweepPoint &p = report.points[tp.index];
+        const std::size_t i = pending[tp.index];
+        SweepPoint &p = report.points[i];
         if (!tp.ok) {
-            const SweepRequest &req = grid[tp.index];
+            const SweepRequest &req = grid[i];
             p = SweepPoint{req.system, req.kernel, req.stride,
                            req.alignment, 0, 0};
             p.status = PointStatus::Failed;
@@ -231,19 +363,42 @@ SweepExecutor::runReport(const std::vector<SweepRequest> &grid)
         report.simTicks += p.simTicks;
         report.cyclesSkipped += p.cyclesSkipped;
         statMismatches += p.mismatches;
+        if (journal) {
+            // The observer runs under the executor's lock, so appends
+            // are serialized; each append is fsync'd before the next
+            // point can report.
+            journal->append(
+                {i, p, tp.ok ? std::string() : tp.error});
+        }
         if (progress)
             progress({tp.done, tp.total, p, tp.millis});
     };
 
-    TaskReport tasks = runTasks(grid.size(), task, observe);
-    report.ok = tasks.ok;
-    report.retried = tasks.retried;
-    report.failed = tasks.failed;
+    TaskReport tasks = runTasks(pending.size(), task, observe);
+    report.ok += tasks.ok;
+    report.retried += tasks.retried;
+    report.failed += tasks.failed;
     for (const TaskFailure &f : tasks.failures) {
-        const SweepRequest &req = grid[f.index];
-        report.failures.push_back({f.index, req.system, req.kernel,
+        const std::size_t i = pending[f.index];
+        const SweepRequest &req = grid[i];
+        report.failures.push_back({i, req.system, req.kernel,
                                    req.stride, req.alignment,
                                    f.attempts, f.error});
+    }
+    // Restored and fresh failures interleave; request order is the
+    // report's contract.
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const PointFailure &a, const PointFailure &b) {
+                  return a.index < b.index;
+              });
+    if (quarantining) {
+        for (const PointFailure &f : report.failures) {
+            SweepRequest eff = effectiveRequest(f.index, f.attempts - 1);
+            report.quarantine.push_back(
+                {f.index, f.attempts, fingerprintRequest(eff),
+                 eff.config.faults.seed, f.error,
+                 capsulePathFor(f.index)});
+        }
     }
     return report;
 }

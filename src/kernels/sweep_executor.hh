@@ -71,6 +71,7 @@ struct TaskProgress
     double millis = 0.0;    ///< Wall-clock time across its attempts
     std::size_t done = 0;   ///< Tasks completed so far (this one incl.)
     std::size_t total = 0;  ///< Tasks in the batch
+    std::string error;      ///< Last attempt's error (failed tasks)
 };
 
 /** Snapshot passed to the progress callback after each point. */
@@ -94,6 +95,20 @@ struct PointFailure
     std::string error;      ///< what() of the last attempt's exception
 };
 
+/** One quarantined grid point: its failure plus the standalone repro
+ *  capsule `pva_replay --repro` re-executes (docs/ROBUSTNESS.md). */
+struct QuarantineRecord
+{
+    std::size_t index = 0;  ///< Position in the request grid
+    unsigned attempts = 0;  ///< Attempts consumed before quarantine
+    /** fingerprintRequest() of the failing attempt's effective
+     *  request (retry-advanced fault seed included). */
+    std::uint64_t fingerprint = 0;
+    std::uint64_t faultSeed = 0; ///< Effective fault seed of that attempt
+    std::string error;           ///< As reported in failures[]
+    std::string capsulePath;     ///< The written repro capsule
+};
+
 /** Outcome of a resilient sweep: every point accounted for. */
 struct SweepReport
 {
@@ -106,11 +121,36 @@ struct SweepReport
     std::vector<PointFailure> failures; ///< In request order
     std::uint64_t simTicks = 0;      ///< Cycles processed, all points
     std::uint64_t cyclesSkipped = 0; ///< Cycles jumped (event clocking)
+    /** Failed points with repro capsules, in request order (only
+     *  populated when CheckpointOptions::quarantineDir is set). */
+    std::vector<QuarantineRecord> quarantine;
+    /**
+     * Points restored from the checkpoint journal instead of rerun.
+     * Deliberately absent from dumpJson(): a resumed sweep's JSON is
+     * byte-identical to the uninterrupted run's, which is the
+     * checkpoint layer's core guarantee.
+     */
+    std::size_t resumed = 0;
 
     bool allOk() const { return failed == 0; }
 
     /** Machine-readable summary (see docs/ROBUSTNESS.md). */
     void dumpJson(std::ostream &os) const;
+};
+
+/** Durability knobs of one runReport() call (docs/ROBUSTNESS.md). */
+struct CheckpointOptions
+{
+    /** Append-only JSONL journal of completed points; empty disables
+     *  checkpointing. */
+    std::string journalPath;
+    /** Restore completed points from an existing journal (matched by
+     *  config fingerprint) instead of rerunning them. Without a
+     *  journal file this is a normal fresh run. */
+    bool resume = false;
+    /** Directory for repro capsules of quarantined points; empty
+     *  disables capsule writing. Created if missing. */
+    std::string quarantineDir;
 };
 
 /** Runs sweep grids on a worker pool with deterministic results. */
@@ -134,6 +174,17 @@ class SweepExecutor
      *  that do not set RunLimits::timeoutMillis themselves.
      *  0 (the default) leaves requests unchanged. */
     void setPointTimeout(double millis) { pointTimeoutMillis = millis; }
+
+    /** Install the durability layer (checkpoint journal, resume,
+     *  failure quarantine) for subsequent runReport() calls. */
+    void setCheckpoint(CheckpointOptions options)
+    {
+        checkpoint = std::move(options);
+    }
+    const CheckpointOptions &checkpointOptions() const
+    {
+        return checkpoint;
+    }
 
     using ProgressFn = std::function<void(const SweepProgress &)>;
 
@@ -197,6 +248,7 @@ class SweepExecutor
     unsigned workerCount;
     unsigned attemptBudget = 3;
     double pointTimeoutMillis = 0.0;
+    CheckpointOptions checkpoint;
     ProgressFn progress;
 
     StatSet statSet;

@@ -1,0 +1,382 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pva::json
+{
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (valueKind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+Value::asU64(bool &ok) const
+{
+    if (valueKind != Kind::Number || text.empty() || text[0] == '-') {
+        ok = false;
+        return 0;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size()) {
+        ok = false;
+        return 0;
+    }
+    return v;
+}
+
+double
+Value::asDouble(bool &ok) const
+{
+    if (valueKind != Kind::Number) {
+        ok = false;
+        return 0.0;
+    }
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size()) {
+        ok = false;
+        return 0.0;
+    }
+    return v;
+}
+
+/** Recursive-descent parser over the input string (see json.hh). */
+class Parser
+{
+  public:
+    Parser(const std::string &input, std::string &error)
+        : in(input), err(error)
+    {
+    }
+
+    bool
+    parseDocument(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos != in.size())
+            return fail("trailing content after JSON document");
+        return true;
+    }
+
+  private:
+    /** Nested containers deeper than this indicate corruption, not a
+     *  legitimate journal or capsule (their depth is ~4). */
+    static constexpr unsigned kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        err = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < in.size() &&
+               (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+                in[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (in.compare(pos, len, word) != 0)
+            return fail(std::string("invalid literal (expected ") +
+                        word + ")");
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos >= in.size())
+            return fail("unexpected end of input");
+        switch (in[pos]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.valueKind = Value::Kind::String;
+            return parseString(out.text);
+          case 't':
+            out.valueKind = Value::Kind::Bool;
+            out.boolValue = true;
+            return literal("true", 4);
+          case 'f':
+            out.valueKind = Value::Kind::Bool;
+            out.boolValue = false;
+            return literal("false", 5);
+          case 'n':
+            out.valueKind = Value::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out, unsigned depth)
+    {
+        out.valueKind = Value::Kind::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < in.size() && in[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos >= in.size() || in[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= in.size() || in[pos] != ':')
+                return fail("expected ':' after object key");
+            ++pos;
+            skipWs();
+            Value member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (pos >= in.size())
+                return fail("unterminated object");
+            if (in[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (in[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(Value &out, unsigned depth)
+    {
+        out.valueKind = Value::Kind::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < in.size() && in[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            Value element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.elements.push_back(std::move(element));
+            skipWs();
+            if (pos >= in.size())
+                return fail("unterminated array");
+            if (in[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (in[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos; // opening '"'
+        out.clear();
+        while (pos < in.size()) {
+            char c = in[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos;
+                continue;
+            }
+            if (pos + 1 >= in.size())
+                return fail("unterminated escape");
+            char esc = in[pos + 1];
+            pos += 2;
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > in.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = in[pos + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code |= h - 'A' + 10;
+                    else
+                        return fail("invalid \\u escape digit");
+                }
+                pos += 4;
+                // The writers only escape control characters, so
+                // basic-plane UTF-8 encoding suffices here.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out +=
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos;
+        if (pos < in.size() && in[pos] == '-')
+            ++pos;
+        auto digits = [&] {
+            std::size_t before = pos;
+            while (pos < in.size() &&
+                   std::isdigit(static_cast<unsigned char>(in[pos]))) {
+                ++pos;
+            }
+            return pos > before;
+        };
+        if (!digits())
+            return fail("invalid number");
+        if (pos < in.size() && in[pos] == '.') {
+            ++pos;
+            if (!digits())
+                return fail("invalid number (no fraction digits)");
+        }
+        if (pos < in.size() && (in[pos] == 'e' || in[pos] == 'E')) {
+            ++pos;
+            if (pos < in.size() && (in[pos] == '+' || in[pos] == '-'))
+                ++pos;
+            if (!digits())
+                return fail("invalid number (no exponent digits)");
+        }
+        out.valueKind = Value::Kind::Number;
+        out.text = in.substr(start, pos - start);
+        return true;
+    }
+
+    const std::string &in;
+    std::string &err;
+    std::size_t pos = 0;
+};
+
+bool
+parse(const std::string &input, Value &out, std::string &error)
+{
+    out = Value{};
+    error.clear();
+    return Parser(input, error).parseDocument(out);
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace pva::json

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A minimal JSON reader for the durability layer.
+ *
+ * The checkpoint journal (kernels/sweep_journal.hh) and the repro
+ * capsules (kernels/repro_capsule.hh) persist simulator state as JSON
+ * and must read it back without any external dependency, so this file
+ * provides the small recursive-descent parser they share. It parses
+ * the full JSON grammar into a Value tree; numbers keep their source
+ * text so 64-bit integers (seeds, fingerprints, cycle counts) round
+ * trip exactly instead of passing through a double.
+ *
+ * This is a reader for trusted, tool-generated input with clear
+ * diagnostics on corruption — not a general-purpose JSON library. The
+ * writers stay hand-rolled ostream code as everywhere else in the
+ * repo (deterministic byte-for-byte output is part of their contract).
+ */
+
+#ifndef PVA_SIM_JSON_HH
+#define PVA_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pva::json
+{
+
+/** One parsed JSON value (a tree; object keys keep source order). */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return valueKind; }
+    bool isNull() const { return valueKind == Kind::Null; }
+    bool isBool() const { return valueKind == Kind::Bool; }
+    bool isNumber() const { return valueKind == Kind::Number; }
+    bool isString() const { return valueKind == Kind::String; }
+    bool isArray() const { return valueKind == Kind::Array; }
+    bool isObject() const { return valueKind == Kind::Object; }
+
+    /** @name Typed access (meaningful only for the matching kind) @{ */
+    bool boolean() const { return boolValue; }
+    /** The number's source text, e.g. "50000000" or "1e-3". */
+    const std::string &numberText() const { return text; }
+    const std::string &string() const { return text; }
+    const std::vector<Value> &array() const { return elements; }
+    const std::vector<std::pair<std::string, Value>> &object() const
+    {
+        return members;
+    }
+    /** @} */
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const Value *find(const std::string &key) const;
+
+    /** @name Number conversions
+     * Valid only for Kind::Number (asU64 additionally requires a
+     * non-negative integer literal); @p ok is cleared on failure and
+     * left untouched on success, so one flag can guard a whole
+     * extraction sequence. @{ */
+    std::uint64_t asU64(bool &ok) const;
+    double asDouble(bool &ok) const;
+    /** @} */
+
+  private:
+    friend class Parser;
+
+    Kind valueKind = Kind::Null;
+    bool boolValue = false;
+    std::string text; ///< Number source text or string payload
+    std::vector<Value> elements;
+    std::vector<std::pair<std::string, Value>> members;
+};
+
+/**
+ * Parse @p input as one JSON document. Trailing non-whitespace after
+ * the document, like any grammar violation, fails the parse.
+ *
+ * @return true on success (@p out holds the document); false with a
+ *         one-line position-annotated message in @p error otherwise.
+ */
+bool parse(const std::string &input, Value &out, std::string &error);
+
+/** Escape @p s for embedding inside a JSON string literal (quotes not
+ *  included). The writer-side counterpart of parse(). */
+std::string escape(const std::string &s);
+
+} // namespace pva::json
+
+#endif // PVA_SIM_JSON_HH

@@ -1,5 +1,7 @@
 #include "traffic/arbiter.hh"
 
+#include <cmath>
+
 #include "sim/trace.hh"
 
 namespace pva
@@ -42,6 +44,24 @@ StreamArbiter::StreamArbiter(const ArbiterConfig &config,
 {
     if (!sources.empty())
         lastGranted = static_cast<unsigned>(sources.size()) - 1;
+    if (cfg.shed.enabled) {
+        shedDeadline.reserve(sources.size());
+        shedDepth.reserve(sources.size());
+        for (const StreamSource &s : sources) {
+            shedDeadline.push_back(s.config().deadline > 0
+                                       ? s.config().deadline
+                                       : cfg.shed.defaultDeadline);
+            const std::size_t cap = s.config().queueCapacity;
+            std::size_t depth = cap;
+            if (cfg.shed.queueHighWatermark < 1.0) {
+                depth = static_cast<std::size_t>(std::ceil(
+                    cfg.shed.queueHighWatermark *
+                    static_cast<double>(cap)));
+                depth = std::max<std::size_t>(1, std::min(depth, cap));
+            }
+            shedDepth.push_back(depth);
+        }
+    }
 }
 
 void
@@ -168,6 +188,21 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
                 deferred = true;
                 break;
             }
+            if (cfg.shed.enabled && queues[i].size() >= shedDepth[i]) {
+                // Overload shed: the queue reached the high watermark,
+                // so this arrival is consumed and dropped instead of
+                // queued. Releasing the window slot keeps closed-loop
+                // streams offering load; at most one drop per stream
+                // per step bounds the cascade.
+                src.emit(now);
+                stats.onArrival(i);
+                stats.onShedOverload(i);
+                src.onComplete();
+                PVA_TRACE_INSTANT(traceTrackId, now, "shed-overload",
+                                  "stream", i);
+                changed = true;
+                break;
+            }
             queues[i].push_back(src.emit(now));
             stats.onArrival(i);
             stats.onQueueDepth(i, queues[i].size());
@@ -180,6 +215,27 @@ StreamArbiter::service(MemorySystem &sys, Cycle now)
             PVA_TRACE_INSTANT(traceTrackId, now, "defer", "stream", i);
         }
         wasDeferred[i] = deferred;
+    }
+
+    // --- 2b. Deadline shed: drop queue heads past their budget. ------
+    // A head older than its stream's deadline can only add a stale
+    // latency sample ahead of fresh work; dropping it (and releasing
+    // the window slot) caps the queueing delay of everything served.
+    if (cfg.shed.enabled) {
+        for (unsigned i = 0; i < sources.size(); ++i) {
+            const Cycle budget = shedDeadline[i];
+            if (budget == 0)
+                continue;
+            while (!queues[i].empty() &&
+                   now - queues[i].front().arrival > budget) {
+                queues[i].pop_front();
+                stats.onShedDeadline(i);
+                sources[i].onComplete();
+                PVA_TRACE_INSTANT(traceTrackId, now, "shed-deadline",
+                                  "stream", i);
+                changed = true;
+            }
+        }
     }
 
     // --- 3. Grant: submit queue heads until the system refuses. ------
@@ -232,6 +288,18 @@ StreamArbiter::nextWake(Cycle now) const
         // ride the memory system's wakes (via changedLastService).
         if (a > now && a < wake)
             wake = a;
+    }
+    // A queued head's deadline expiry is a state change with a clock
+    // of its own: nothing else need happen for the shed to become due.
+    if (cfg.shed.enabled) {
+        for (unsigned i = 0; i < sources.size(); ++i) {
+            if (shedDeadline[i] == 0 || queues[i].empty())
+                continue;
+            Cycle expiry =
+                queues[i].front().arrival + shedDeadline[i] + 1;
+            if (expiry > now && expiry < wake)
+                wake = expiry;
+        }
     }
     return wake;
 }

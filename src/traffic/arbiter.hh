@@ -65,6 +65,37 @@ struct ArbiterConfig
     /** Priority policy: a head request older than this many cycles is
      *  served FIFO ahead of any fresher higher-priority work. */
     Cycle agingThreshold = 1024;
+
+    /**
+     * Graceful degradation under overload (docs/TRAFFIC.md). Disabled
+     * by default; with shedding off the arbiter's behaviour is
+     * bit-identical to a build without this feature.
+     *
+     * Two shedding causes, accounted separately in ServiceStats:
+     *
+     *  - deadline: a queued request whose queueing delay exceeds its
+     *    stream's budget is dropped instead of served, so stale work
+     *    cannot clog the queue ahead of fresh work;
+     *  - overload: when a stream's queue reaches the high watermark,
+     *    one new arrival per service step is dropped on admission,
+     *    relieving pressure before the queue hits capacity
+     *    backpressure.
+     *
+     * A shed request releases its stream's window slot (closed loop
+     * keeps offering load) and is excluded from latency histograms —
+     * the p99 of *served* requests stays bounded by the deadline.
+     */
+    struct ShedConfig
+    {
+        bool enabled = false;
+        /** Queueing-delay budget for streams that leave
+         *  StreamConfig::deadline at 0 (cycles; 0 = no deadline). */
+        Cycle defaultDeadline = 0;
+        /** Queue-depth fraction (of queueCapacity) at which overload
+         *  shedding starts; >= 1.0 disables overload shedding. */
+        double queueHighWatermark = 1.0;
+    };
+    ShedConfig shed;
 };
 
 /** Multiplexes stream sources onto one MemorySystem. */
@@ -139,6 +170,11 @@ class StreamArbiter
     ArbiterConfig cfg;
     std::vector<StreamSource> sources;
     ServiceStats &stats;
+    /** @name Per-stream shedding thresholds (precomputed; empty
+     *  vectors when shedding is disabled) @{ */
+    std::vector<Cycle> shedDeadline;     ///< 0 = no deadline
+    std::vector<std::size_t> shedDepth;  ///< >= capacity = no watermark
+    /** @} */
     std::vector<std::deque<TrafficRequest>> queues;
     std::unordered_map<std::uint64_t, InFlight> inFlight;
     /** Drain buffer reused across service() steps (storage shuttles

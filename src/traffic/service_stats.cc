@@ -30,6 +30,8 @@ ServiceStats::ServiceStats(const std::vector<std::string> &names)
         statSet.addScalar(prefix + ".submitted", &c.submitted);
         statSet.addScalar(prefix + ".completed", &c.completed);
         statSet.addScalar(prefix + ".deferrals", &c.deferrals);
+        statSet.addScalar(prefix + ".shedDeadline", &c.shedDeadline);
+        statSet.addScalar(prefix + ".shedOverload", &c.shedOverload);
         statSet.addScalar(prefix + ".queuePeak", &c.queuePeak);
         statSet.addScalar(prefix + ".wordsRead", &c.wordsRead);
         statSet.addScalar(prefix + ".wordsWritten", &c.wordsWritten);
@@ -64,6 +66,20 @@ ServiceStats::onDeferred(unsigned stream)
 {
     ++perStream[stream]->deferrals;
     ++aggregate.deferrals;
+}
+
+void
+ServiceStats::onShedDeadline(unsigned stream)
+{
+    ++perStream[stream]->shedDeadline;
+    ++aggregate.shedDeadline;
+}
+
+void
+ServiceStats::onShedOverload(unsigned stream)
+{
+    ++perStream[stream]->shedOverload;
+    ++aggregate.shedOverload;
 }
 
 void
@@ -150,6 +166,25 @@ std::uint64_t
 ServiceStats::deferrals(unsigned stream) const
 {
     return perStream[stream]->deferrals.value();
+}
+
+std::uint64_t
+ServiceStats::shedDeadline(unsigned stream) const
+{
+    return perStream[stream]->shedDeadline.value();
+}
+
+std::uint64_t
+ServiceStats::shedOverload(unsigned stream) const
+{
+    return perStream[stream]->shedOverload.value();
+}
+
+std::uint64_t
+ServiceStats::shedTotal() const
+{
+    return aggregate.shedDeadline.value() +
+           aggregate.shedOverload.value();
 }
 
 std::uint64_t

@@ -57,6 +57,8 @@ class ServiceStats
     /** @name Event hooks (called by the StreamArbiter) @{ */
     void onArrival(unsigned stream);
     void onDeferred(unsigned stream);       ///< Backpressure: queue full
+    void onShedDeadline(unsigned stream);   ///< Dropped: deadline missed
+    void onShedOverload(unsigned stream);   ///< Dropped: high watermark
     void onQueueDepth(unsigned stream, std::size_t depth);
     void onSubmit(unsigned stream, Cycle queue_delay);
     void onComplete(unsigned stream, Cycle service_latency,
@@ -84,6 +86,9 @@ class ServiceStats
     std::uint64_t completedTotal() const;
     std::uint64_t wordsTotal() const;
     std::uint64_t deferrals(unsigned stream) const;
+    std::uint64_t shedDeadline(unsigned stream) const;
+    std::uint64_t shedOverload(unsigned stream) const;
+    std::uint64_t shedTotal() const; ///< All streams, both causes
     std::uint64_t queuePeak(unsigned stream) const;
     LatencySummary queueDelay(unsigned stream) const;
     LatencySummary serviceLatency(unsigned stream) const;
@@ -102,6 +107,8 @@ class ServiceStats
         Scalar submitted;
         Scalar completed;
         Scalar deferrals;
+        Scalar shedDeadline; ///< Requests dropped past their deadline
+        Scalar shedOverload; ///< Requests dropped at the high watermark
         Scalar queuePeak;
         Scalar wordsRead;
         Scalar wordsWritten;

@@ -72,6 +72,10 @@ struct StreamConfig
     std::uint64_t requests = 256; ///< Requests to generate (non-trace)
     unsigned priority = 0;       ///< Larger = more urgent (Priority policy)
     unsigned queueCapacity = 16; ///< Arbiter per-stream queue bound
+    /** Queueing-delay budget before a queued request is shed (cycles;
+     *  0 inherits ShedConfig::defaultDeadline). Only consulted when
+     *  shedding is enabled — see ArbiterConfig::shed. */
+    Cycle deadline = 0;
     std::uint64_t seed = 1;      ///< Pattern + arrival RNG seed
     PatternConfig pattern;
     std::string tracePath;       ///< Trace mode input file

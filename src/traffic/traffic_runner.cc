@@ -39,6 +39,7 @@ TrafficResult::dumpJson(std::ostream &os) const
        << ", \"wordsPerCycle\": " << wordsPerCycle
        << ", \"meanInFlight\": " << meanInFlight
        << ", \"bcUtilization\": " << bcUtilization
+       << ", \"shed\": " << shed << ", \"shedRate\": " << shedRate
        << ", \"simTicks\": " << simTicks
        << ", \"cyclesSkipped\": " << cyclesSkipped << ", ";
     jsonSummary(os, "queueDelay", queueDelay);
@@ -53,6 +54,8 @@ TrafficResult::dumpJson(std::ostream &os) const
            << "\", \"requests\": " << s.requests
            << ", \"completed\": " << s.completed
            << ", \"deferrals\": " << s.deferrals
+           << ", \"shedDeadline\": " << s.shedDeadline
+           << ", \"shedOverload\": " << s.shedOverload
            << ", \"queuePeak\": " << s.queuePeak
            << ", \"words\": " << s.words << ", ";
         jsonSummary(os, "queueDelay", s.queueDelay);
@@ -131,6 +134,11 @@ runTraffic(const TrafficConfig &config, std::ostream *stats_dump)
                           static_cast<double>(r.cycles);
     }
     r.meanInFlight = stats.meanInFlight();
+    r.shed = stats.shedTotal();
+    if (r.completed + r.shed > 0) {
+        r.shedRate = static_cast<double>(r.shed) /
+                     static_cast<double>(r.completed + r.shed);
+    }
     r.queueDelay = stats.aggregateQueueDelay();
     r.serviceLatency = stats.aggregateServiceLatency();
     r.totalLatency = stats.aggregateTotalLatency();
@@ -158,6 +166,8 @@ runTraffic(const TrafficConfig &config, std::ostream *stats_dump)
         s.requests = arbiter.source(i).emitted();
         s.completed = stats.completed(i);
         s.deferrals = stats.deferrals(i);
+        s.shedDeadline = stats.shedDeadline(i);
+        s.shedOverload = stats.shedOverload(i);
         s.queuePeak = stats.queuePeak(i);
         s.words =
             stats.set().scalar("traffic." + names[i] + ".wordsRead") +
@@ -239,8 +249,8 @@ writeLoadCsvHeader(std::ostream &os)
 {
     os << "system,offered_per_kc,achieved_per_kc,words_per_cycle,"
           "lat_mean,lat_p50,lat_p95,lat_p99,lat_p999,"
-          "queue_mean,mean_in_flight,bc_utilization,completed,cycles,"
-          "status\n";
+          "queue_mean,mean_in_flight,bc_utilization,shed,shed_rate,"
+          "completed,cycles,status\n";
 }
 
 void
@@ -253,6 +263,7 @@ writeLoadCsvRow(std::ostream &os, const LoadPoint &point)
        << r.totalLatency.p95 << ',' << r.totalLatency.p99 << ','
        << r.totalLatency.p999 << ',' << r.queueDelay.mean << ','
        << r.meanInFlight << ',' << r.bcUtilization << ','
+       << r.shed << ',' << r.shedRate << ','
        << r.completed << ',' << r.cycles << ','
        << (point.failed ? "failed" : "ok") << '\n';
 }

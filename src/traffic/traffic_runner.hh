@@ -47,6 +47,8 @@ struct StreamResult
     std::uint64_t requests = 0;  ///< Generated (admitted) requests
     std::uint64_t completed = 0;
     std::uint64_t deferrals = 0; ///< Backpressured admission cycles
+    std::uint64_t shedDeadline = 0; ///< Dropped past the deadline budget
+    std::uint64_t shedOverload = 0; ///< Dropped at the high watermark
     std::uint64_t queuePeak = 0; ///< Deepest bounded-queue occupancy
     std::uint64_t words = 0;     ///< Elements moved (read + written)
     LatencySummary queueDelay;
@@ -64,6 +66,10 @@ struct TrafficResult
     double wordsPerCycle = 0.0;        ///< Achieved bandwidth
     double meanInFlight = 0.0;  ///< Mean context occupancy (sampled)
     double bcUtilization = 0.0; ///< Mean BC scheduler duty cycle (PVA)
+    std::uint64_t shed = 0; ///< Requests dropped (both causes, all streams)
+    /** shed / (completed + shed): the fraction of consumed work the
+     *  arbiter dropped to protect the latency of the rest. */
+    double shedRate = 0.0;
     std::uint64_t simTicks = 0;      ///< Cycles actually processed
     std::uint64_t cyclesSkipped = 0; ///< Cycles jumped (event clocking)
     std::uint64_t cyclesPerSecond = 0; ///< Simulated cycles per wall second

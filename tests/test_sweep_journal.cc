@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Checkpoint/resume and quarantine tests (docs/ROBUSTNESS.md): the
+ * journal round-trips durably completed points, tolerates a torn final
+ * record, refuses foreign grids, and a crash-interrupted sweep resumed
+ * from its journal produces CSV and JSON byte-identical to the
+ * uninterrupted run across worker counts; failed points yield repro
+ * capsules that pva_replay-style replayCapsule re-executes to the same
+ * SimError.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expect_sim_error.hh"
+#include "kernels/repro_capsule.hh"
+#include "kernels/sweep_executor.hh"
+#include "kernels/sweep_journal.hh"
+
+namespace pva
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+spit(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+SweepRequest
+smallPoint(std::uint32_t stride = 3, unsigned alignment = 0)
+{
+    SweepRequest req;
+    req.kernel = KernelId::Copy;
+    req.stride = stride;
+    req.alignment = alignment;
+    req.elements = 128;
+    return req;
+}
+
+/** A small mixed grid with one deterministic persistent failure. */
+std::vector<SweepRequest>
+mixedGrid()
+{
+    std::vector<SweepRequest> grid;
+    for (std::uint32_t stride : {1u, 3u, 7u, 19u}) {
+        grid.push_back(smallPoint(stride, 0));
+        grid.push_back(smallPoint(stride, 1));
+    }
+    grid.push_back(smallPoint(4));
+    // corruptFirstHitRate = 1.0 corrupts every attempt (including the
+    // retry's advanced fault timeline), so this point reliably
+    // exhausts the budget and lands in quarantine.
+    grid.back().config.timingCheck = true;
+    grid.back().config.faults.corruptFirstHitRate = 1.0;
+    grid.push_back(smallPoint(5));
+    return grid;
+}
+
+struct RunOutput
+{
+    SweepReport report;
+    std::string csv;
+    std::string json;
+};
+
+RunOutput
+runGrid(const std::vector<SweepRequest> &grid, unsigned jobs,
+        const CheckpointOptions &cp = {})
+{
+    SweepExecutor ex(jobs);
+    ex.setMaxAttempts(2);
+    ex.setCheckpoint(cp);
+    RunOutput out;
+    out.report = ex.runReport(grid);
+    std::ostringstream c;
+    writeCsv(c, out.report.points);
+    out.csv = c.str();
+    std::ostringstream j;
+    out.report.dumpJson(j);
+    out.json = j.str();
+    return out;
+}
+
+TEST(SweepJournal, FingerprintCoversBehaviorDeterminingState)
+{
+    SweepRequest a = smallPoint();
+    SweepRequest b = a;
+    EXPECT_EQ(fingerprintRequest(a), fingerprintRequest(b));
+
+    b.stride = 4;
+    EXPECT_NE(fingerprintRequest(a), fingerprintRequest(b));
+    b = a;
+    b.config.faults.seed += 1;
+    EXPECT_NE(fingerprintRequest(a), fingerprintRequest(b));
+    b = a;
+    b.config.timing.tCL += 1;
+    EXPECT_NE(fingerprintRequest(a), fingerprintRequest(b));
+    b = a;
+    b.limits.maxCycles = 12345;
+    EXPECT_NE(fingerprintRequest(a), fingerprintRequest(b));
+    // The wall-clock budget never changes simulated behavior and must
+    // not poison resume across machines of different speed.
+    b = a;
+    b.limits.timeoutMillis = 5000.0;
+    EXPECT_EQ(fingerprintRequest(a), fingerprintRequest(b));
+
+    std::vector<SweepRequest> g1 = {a, smallPoint(7)};
+    std::vector<SweepRequest> g2 = {smallPoint(7), a};
+    EXPECT_NE(fingerprintGrid(g1), fingerprintGrid(g2))
+        << "grid fingerprints must be order-sensitive";
+}
+
+TEST(SweepJournal, RecordsRoundTripThroughTheFile)
+{
+    const std::string path = tempPath("journal_roundtrip.jsonl");
+    std::remove(path.c_str());
+    std::vector<SweepRequest> grid = {smallPoint(1), smallPoint(7)};
+    const std::uint64_t fp = fingerprintGrid(grid);
+
+    {
+        SweepJournal journal(path, fp, grid.size());
+        SweepPoint p{SystemKind::PvaSdram, KernelId::Copy, 1, 0, 321, 0};
+        p.simTicks = 300;
+        p.cyclesSkipped = 21;
+        p.attempts = 2;
+        p.status = PointStatus::Retried;
+        journal.append({0, p, ""});
+        SweepPoint f{SystemKind::PvaSdram, KernelId::Copy, 7, 0, 0, 0};
+        f.status = PointStatus::Failed;
+        f.attempts = 2;
+        journal.append({1, f, "[corruption] it broke \"badly\""});
+    }
+
+    SweepJournal::LoadResult loaded =
+        SweepJournal::load(path, fp, grid.size());
+    ASSERT_TRUE(loaded.exists);
+    EXPECT_FALSE(loaded.tornTail);
+    ASSERT_EQ(loaded.records.size(), 2u);
+    EXPECT_EQ(loaded.records[0].index, 0u);
+    EXPECT_EQ(loaded.records[0].point.cycles, 321u);
+    EXPECT_EQ(loaded.records[0].point.simTicks, 300u);
+    EXPECT_EQ(loaded.records[0].point.cyclesSkipped, 21u);
+    EXPECT_EQ(loaded.records[0].point.status, PointStatus::Retried);
+    EXPECT_EQ(loaded.records[0].point.attempts, 2u);
+    EXPECT_EQ(loaded.records[1].index, 1u);
+    EXPECT_EQ(loaded.records[1].point.status, PointStatus::Failed);
+    EXPECT_EQ(loaded.records[1].error,
+              "[corruption] it broke \"badly\"");
+    EXPECT_EQ(loaded.validBytes, slurp(path).size());
+}
+
+TEST(SweepJournal, TornFinalLineIsDiscardedNotFatal)
+{
+    const std::string path = tempPath("journal_torn.jsonl");
+    std::remove(path.c_str());
+    std::vector<SweepRequest> grid = {smallPoint(1), smallPoint(7)};
+    const std::uint64_t fp = fingerprintGrid(grid);
+    {
+        SweepJournal journal(path, fp, grid.size());
+        journal.append(
+            {0, SweepPoint{SystemKind::PvaSdram, KernelId::Copy, 1, 0,
+                           100, 0},
+             ""});
+    }
+    const std::string intact = slurp(path);
+    spit(path, intact + "{\"index\": 1, \"system\": \"pva");
+
+    SweepJournal::LoadResult loaded =
+        SweepJournal::load(path, fp, grid.size());
+    ASSERT_TRUE(loaded.exists);
+    EXPECT_TRUE(loaded.tornTail);
+    ASSERT_EQ(loaded.records.size(), 1u);
+    EXPECT_EQ(loaded.validBytes, intact.size());
+
+    // Resuming truncates the torn tail before appending, leaving a
+    // fully intact journal again.
+    {
+        SweepJournal journal(path, fp, grid.size(), loaded.validBytes);
+        journal.append(
+            {1, SweepPoint{SystemKind::PvaSdram, KernelId::Copy, 7, 0,
+                           200, 0},
+             ""});
+    }
+    SweepJournal::LoadResult again =
+        SweepJournal::load(path, fp, grid.size());
+    EXPECT_FALSE(again.tornTail);
+    ASSERT_EQ(again.records.size(), 2u);
+    EXPECT_EQ(again.records[1].point.cycles, 200u);
+}
+
+TEST(SweepJournal, RefusesForeignGridsAndCorruptRecords)
+{
+    const std::string path = tempPath("journal_refuse.jsonl");
+    std::remove(path.c_str());
+    std::vector<SweepRequest> grid = {smallPoint(1), smallPoint(7)};
+    const std::uint64_t fp = fingerprintGrid(grid);
+    {
+        SweepJournal journal(path, fp, grid.size());
+        journal.append(
+            {0, SweepPoint{SystemKind::PvaSdram, KernelId::Copy, 1, 0,
+                           100, 0},
+             ""});
+    }
+
+    test::expectSimError(
+        [&] { SweepJournal::load(path, fp ^ 1, grid.size()); },
+        SimErrorKind::Config, "refusing");
+    test::expectSimError(
+        [&] { SweepJournal::load(path, fp, grid.size() + 1); },
+        SimErrorKind::Config, "points");
+
+    // A corrupt *complete* (newline-terminated) line is flagged, not
+    // silently skipped: only the final line may legitimately be torn.
+    spit(path, slurp(path) + "this is not json\n");
+    test::expectSimError(
+        [&] { SweepJournal::load(path, fp, grid.size()); },
+        SimErrorKind::Corruption, "journal");
+
+    // A missing file is a fresh start, not an error.
+    SweepJournal::LoadResult missing = SweepJournal::load(
+        tempPath("journal_never_written.jsonl"), fp, grid.size());
+    EXPECT_FALSE(missing.exists);
+}
+
+TEST(SweepJournal, ResumedSweepIsByteIdenticalToUninterrupted)
+{
+    std::vector<SweepRequest> grid = mixedGrid();
+    const RunOutput reference = runGrid(grid, 1);
+    ASSERT_EQ(reference.report.failed, 1u);
+
+    for (unsigned jobs : {1u, 3u}) {
+        const std::string path = tempPath(
+            "journal_resume_j" + std::to_string(jobs) + ".jsonl");
+        std::remove(path.c_str());
+
+        // Full journaled run (single worker: journal order == issue
+        // order), then simulate a SIGKILL after 4 durable points by
+        // truncating the journal to header + 4 records and appending
+        // a torn half-record.
+        runGrid(grid, 1, {path, false, ""});
+        std::istringstream lines(slurp(path));
+        std::string line, prefix;
+        for (int i = 0; i < 5 && std::getline(lines, line); ++i)
+            prefix += line + "\n";
+        spit(path, prefix + "{\"index\": 8, \"system\": \"pv");
+
+        const RunOutput resumed = runGrid(grid, jobs, {path, true, ""});
+        EXPECT_EQ(resumed.report.resumed, 4u) << "jobs=" << jobs;
+        EXPECT_EQ(resumed.csv, reference.csv) << "jobs=" << jobs;
+        EXPECT_EQ(resumed.json, reference.json) << "jobs=" << jobs;
+
+        // Resuming the now-complete journal reruns nothing and still
+        // reproduces the same bytes.
+        const RunOutput done = runGrid(grid, jobs, {path, true, ""});
+        EXPECT_EQ(done.report.resumed, grid.size());
+        EXPECT_EQ(done.csv, reference.csv);
+        EXPECT_EQ(done.json, reference.json);
+    }
+}
+
+TEST(SweepJournal, QuarantinedPointYieldsAReplayableCapsule)
+{
+    std::vector<SweepRequest> grid = mixedGrid();
+    const std::string dir = tempPath("quarantine_capsules");
+    const RunOutput out = runGrid(grid, 2, {"", false, dir});
+
+    ASSERT_EQ(out.report.failed, 1u);
+    ASSERT_EQ(out.report.quarantine.size(), 1u);
+    const QuarantineRecord &q = out.report.quarantine[0];
+    EXPECT_EQ(q.attempts, 2u);
+    EXPECT_NE(q.error.find("fingerprint="), std::string::npos)
+        << "failure text should name the capsule: " << q.error;
+    EXPECT_NE(q.error.find("faultSeed="), std::string::npos) << q.error;
+
+    ReproCapsule capsule = loadCapsule(q.capsulePath);
+    EXPECT_EQ(capsule.fingerprint, q.fingerprint);
+    EXPECT_EQ(capsule.attempts, 2u);
+    EXPECT_EQ(capsule.request.config.faults.seed, q.faultSeed);
+    ASSERT_FALSE(capsule.error.empty());
+    // The capsule stores the raw error; the report's is the enriched
+    // version of the same failure.
+    EXPECT_NE(q.error.find(capsule.error), std::string::npos)
+        << q.error << " vs " << capsule.error;
+
+    // Replaying the capsule re-executes the exact failing attempt and
+    // dies the same way.
+    std::string observed;
+    try {
+        replayCapsule(capsule);
+    } catch (const SimError &e) {
+        observed = e.what();
+    }
+    ASSERT_FALSE(observed.empty()) << "failure did not reproduce";
+    EXPECT_TRUE(sameSimError(observed, capsule.error))
+        << observed << " vs " << capsule.error;
+}
+
+TEST(SweepJournal, SameSimErrorToleratesWallClockVariance)
+{
+    EXPECT_TRUE(sameSimError(
+        "[watchdog] simulation: wall-clock watchdog expired after "
+        "51 ms (budget 50 ms)",
+        "[watchdog] simulation: wall-clock watchdog expired after "
+        "63 ms (budget 50 ms)"));
+    EXPECT_FALSE(sameSimError(
+        "[watchdog] simulation: wall-clock watchdog expired after "
+        "51 ms (budget 50 ms)",
+        "[watchdog] simulation: wall-clock watchdog expired after "
+        "63 ms (budget 99 ms)"));
+    EXPECT_TRUE(sameSimError("[config] bc: lineWords must be > 0",
+                             "[config] bc: lineWords must be > 0"));
+    EXPECT_FALSE(sameSimError("[config] bc: lineWords must be > 0",
+                              "[config] bc: transactions must be > 0"));
+}
+
+} // anonymous namespace
+} // namespace pva

@@ -55,6 +55,9 @@ struct LoadgenOptions
     std::uint64_t requests = 256;
     std::uint64_t seed = 1;
     unsigned queueCap = 16;
+    bool shed = false;           ///< Deadline/overload load shedding
+    Cycle deadline = 0;          ///< Queueing-delay budget (cycles)
+    double shedWatermark = 0.75; ///< Queue-depth shed fraction
     bool priorityRamp = false;
     std::string tracePath;
     PatternConfig pattern;
@@ -121,6 +124,25 @@ addLoadgenFlags(ToolApp &app, LoadgenOptions &opts)
                   [&opts](unsigned long long n) { opts.seed = n; });
     app.numOption("--queue-cap", "N", "per-stream admission queue cap",
                   [&opts](unsigned long long n) { opts.queueCap = n; });
+    app.option("--shed", "on|off",
+               "deadline/overload load shedding (docs/TRAFFIC.md; "
+               "default off, off is bit-identical to older builds)",
+               [&opts](const std::string &v) {
+                   if (v == "on")
+                       opts.shed = true;
+                   else if (v == "off")
+                       opts.shed = false;
+                   else
+                       fatal("--shed takes on|off, not '%s'", v.c_str());
+               });
+    app.numOption("--deadline", "N",
+                  "queueing-delay budget before a request is shed "
+                  "(cycles; 0 = no deadline)",
+                  [&opts](unsigned long long n) { opts.deadline = n; });
+    app.realOption("--shed-watermark", "F",
+                   "queue-depth fraction where overload shedding "
+                   "starts (>= 1 disables; default 0.75)",
+                   [&opts](double d) { opts.shedWatermark = d; });
     app.flag("--priority-ramp",
              "give stream i priority i (N-1 most urgent)",
              [&opts] { opts.priorityRamp = true; });
@@ -180,6 +202,9 @@ trafficConfigFor(const LoadgenOptions &opts)
         fatal("unknown policy '%s' (try: fifo rr priority)",
               opts.policy.c_str());
     tc.arbiter.agingThreshold = opts.aging;
+    tc.arbiter.shed.enabled = opts.shed;
+    tc.arbiter.shed.defaultDeadline = opts.deadline;
+    tc.arbiter.shed.queueHighWatermark = opts.shedWatermark;
     tc.limits.maxCycles = opts.maxCycles;
     tc.limits.timeoutMillis = opts.pointTimeout;
 
@@ -291,6 +316,12 @@ runOnce(const ToolApp &app, const LoadgenOptions &opts)
                 "mean in-flight %.2f, bc utilization %.1f%%\n",
                 r.requestsPerKilocycle, r.wordsPerCycle,
                 r.meanInFlight, 100.0 * r.bcUtilization);
+    if (r.shed > 0) {
+        std::printf("  shed %llu requests (%.1f%% of consumed work) "
+                    "to protect served latency\n",
+                    static_cast<unsigned long long>(r.shed),
+                    100.0 * r.shedRate);
+    }
     std::printf("  clocking=%s simTicks=%llu cyclesSkipped=%llu "
                 "cyclesPerSecond=%llu\n",
                 clockingModeName(tc.config.clocking),

@@ -16,8 +16,10 @@
 #include <fstream>
 #include <iostream>
 
+#include "kernels/repro_capsule.hh"
 #include "kernels/trace_file.hh"
 #include "options.hh"
+#include "sim/sim_error.hh"
 #include "tool_app.hh"
 
 using namespace pva;
@@ -70,6 +72,63 @@ runReplay(const ToolApp &app, const ToolOptions &opts)
     return 0;
 }
 
+/**
+ * Re-execute a quarantine capsule (docs/ROBUSTNESS.md). Exit 0 when
+ * the replay behaves as the capsule recorded — the same SimError for a
+ * failure capsule, clean completion for an empty-error one — and 1
+ * when the outcome diverges.
+ */
+int
+runRepro(const ToolApp &app, const ToolOptions &opts)
+{
+    ReproCapsule capsule = loadCapsule(opts.reproPath);
+    inform("repro: %s/%s stride %u alignment %u elements %u "
+           "fingerprint %016llx",
+           systemShortName(capsule.request.system),
+           kernelSpec(capsule.request.kernel).name.c_str(),
+           capsule.request.stride, capsule.request.alignment,
+           capsule.request.elements,
+           static_cast<unsigned long long>(capsule.fingerprint));
+    std::string observed;
+    SweepPoint point{};
+    bool completed = false;
+    try {
+        point = replayCapsule(capsule);
+        completed = true;
+    } catch (const SimError &e) {
+        observed = e.what();
+    }
+
+    bool reproduced = completed ? capsule.error.empty()
+                                : sameSimError(observed, capsule.error);
+    if (opts.json) {
+        JsonEnvelope env(std::cout, app, capsule.request.config,
+                         {{"capsule", jsonQuote(opts.reproPath)}});
+        env.section("repro")
+            << "{\"reproduced\": " << (reproduced ? "true" : "false")
+            << ", \"completed\": " << (completed ? "true" : "false")
+            << ", \"recordedError\": " << jsonQuote(capsule.error)
+            << ", \"observedError\": " << jsonQuote(observed) << "}";
+        env.traceSection(app);
+    } else if (completed) {
+        std::printf("replay completed cleanly (%llu cycles, %zu "
+                    "mismatches); capsule recorded %s\n",
+                    static_cast<unsigned long long>(point.cycles),
+                    point.mismatches,
+                    capsule.error.empty() ? "a clean run"
+                                          : capsule.error.c_str());
+    } else {
+        std::printf("replay raised: %s\n", observed.c_str());
+        std::printf("capsule recorded: %s\n", capsule.error.c_str());
+    }
+    if (reproduced) {
+        inform("repro: outcome matches the capsule");
+        return 0;
+    }
+    warn("repro: outcome DIVERGES from the capsule");
+    return 1;
+}
+
 } // anonymous namespace
 
 int
@@ -81,6 +140,11 @@ main(int argc, char **argv)
                "memory system under test",
                [&opts](const std::string &v) { opts.system = v; });
     app.addSystemFlags(opts.config);
+    app.option("--repro", "CAPSULE",
+               "re-execute a quarantine repro capsule instead of a "
+               "trace (docs/ROBUSTNESS.md); exit 0 iff the recorded "
+               "outcome reproduces",
+               [&opts](const std::string &v) { opts.reproPath = v; });
     app.addOutputFlags(opts.stats, opts.json);
     app.addTraceFlags();
     app.positional("[trace-file | - for stdin]",
@@ -88,5 +152,8 @@ main(int argc, char **argv)
                        opts.tracePath = v;
                    });
     app.parse(argc, argv);
-    return app.run([&] { return runReplay(app, opts); });
+    return app.run([&] {
+        return opts.reproPath.empty() ? runReplay(app, opts)
+                                      : runRepro(app, opts);
+    });
 }

@@ -42,12 +42,18 @@ runSweep(const ToolApp &app, const ToolOptions &opts)
     SweepExecutor executor(opts.jobs);
     executor.setMaxAttempts(opts.retries);
     executor.setPointTimeout(opts.pointTimeout);
+    executor.setCheckpoint(
+        {opts.checkpointPath, opts.resume, opts.quarantineDir});
     executor.onProgress([](const SweepProgress &p) {
         if (p.done % 160 == 0 || p.done == p.total)
             inform("sweep: %zu/%zu points done", p.done, p.total);
     });
     SweepReport report = executor.runReport(
         SweepExecutor::chapter6Grid(opts.elements, opts.config));
+    if (report.resumed > 0) {
+        inform("sweep: restored %zu completed points from '%s'",
+               report.resumed, opts.checkpointPath.c_str());
+    }
     writeCsv(std::cout, report.points);
     for (const PointFailure &f : report.failures) {
         warn("sweep point %zu (%s/%s stride %u alignment %u) failed "
@@ -55,6 +61,11 @@ runSweep(const ToolApp &app, const ToolOptions &opts)
              f.index, systemShortName(f.system),
              kernelSpec(f.kernel).name.c_str(), f.stride, f.alignment,
              f.attempts, f.error.c_str());
+    }
+    for (const QuarantineRecord &q : report.quarantine) {
+        inform("quarantined point %zu: repro capsule %s "
+               "(pva_replay --repro)",
+               q.index, q.capsulePath.c_str());
     }
     if (opts.stats)
         executor.stats().dump(std::cerr);
@@ -132,10 +143,32 @@ main(int argc, char **argv)
     app.addSystemFlags(opts.config);
     app.flag("--sweep", "run the full chapter 6 grid",
              [&opts] { opts.sweep = true; });
+    app.option("--checkpoint", "FILE",
+               "journal completed sweep points to FILE (JSONL, "
+               "fsync'd per point; docs/ROBUSTNESS.md)",
+               [&opts](const std::string &v) {
+                   opts.checkpointPath = v;
+               });
+    app.flag("--resume",
+             "restore completed points from the --checkpoint journal "
+             "instead of rerunning them",
+             [&opts] { opts.resume = true; });
+    app.option("--quarantine-dir", "DIR",
+               "write a standalone repro capsule per failed point "
+               "into DIR (pva_replay --repro)",
+               [&opts](const std::string &v) {
+                   opts.quarantineDir = v;
+               });
     app.addExecutorFlags(opts.jobs, opts.retries, opts.pointTimeout);
     app.addOutputFlags(opts.stats, opts.json);
     app.addTraceFlags();
     app.parse(argc, argv);
+    if (opts.resume && opts.checkpointPath.empty())
+        fatal("--resume needs --checkpoint FILE");
+    if ((!opts.checkpointPath.empty() || !opts.quarantineDir.empty()) &&
+        !opts.sweep) {
+        fatal("--checkpoint/--quarantine-dir only apply to --sweep");
+    }
     return app.run([&] {
         return opts.sweep ? runSweep(app, opts) : runOnce(app, opts);
     });
