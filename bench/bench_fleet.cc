@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Hierarchical arbitration scaling benchmark (docs/TRAFFIC.md).
+ *
+ * The fleet arbiter's design claim is O(log n) work per grant: tenant
+ * arbiters keep lazy heaps over their own streams, the root keeps
+ * heaps over tenant bests, and idle streams cost nothing. This
+ * harness measures that claim directly — closed-loop fleets from 10^2
+ * to 10^5 streams, a fixed number of requests per stream, wall time
+ * divided by grants issued. If per-grant cost were linear in streams,
+ * the 10^5 point would be ~1000x the 10^2 point; logarithmic growth
+ * keeps the ratio within a small factor.
+ *
+ * Everything is pinned (event clocking, FIFO policy, one shard so a
+ * single arbiter instance carries the whole fleet, serial executor)
+ * so the number is arbitration cost, not worker-pool throughput.
+ *
+ * Usage: bench_fleet [--out FILE] [--reps N] [--max-streams N]
+ *
+ * Prints a per-point table and, with --out, the versioned JSON record
+ * (schemaVersion 1) the CI perf job archives as BENCH_FLEET.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_runner.hh"
+
+using namespace pva;
+
+namespace
+{
+
+struct Point
+{
+    std::uint64_t streams = 0;
+    std::uint64_t tenants = 0;
+    std::uint64_t grants = 0;
+    Cycle cycles = 0;
+    double bestMillis = 0.0;
+    unsigned reps = 0;
+
+    double nsPerGrant() const
+    {
+        return grants ? 1e6 * bestMillis / static_cast<double>(grants)
+                      : 0.0;
+    }
+};
+
+fleet::FleetConfig
+configFor(std::uint64_t streams)
+{
+    // ~64 streams per tenant keeps both hierarchy levels populated;
+    // tiny vectors and per-stream request counts keep the memory
+    // system out of the way so the arbiter dominates the profile.
+    fleet::FleetConfig fc;
+    fc.config.clocking = ClockingMode::Event;
+    fc.shards = 1;
+    fc.jobs = 1;
+
+    fleet::TenantSpec spec;
+    spec.streamsPerTenant = 64;
+    spec.count = static_cast<unsigned>(
+        (streams + spec.streamsPerTenant - 1) / spec.streamsPerTenant);
+    if (streams < spec.streamsPerTenant) {
+        spec.count = 1;
+        spec.streamsPerTenant = static_cast<unsigned>(streams);
+    }
+    spec.stream.mode = ArrivalMode::ClosedLoop;
+    spec.stream.window = 1;
+    spec.stream.requests = 2;
+    spec.stream.queueCapacity = 4;
+    spec.stream.pattern.minLength = 8;
+    spec.stream.pattern.maxLength = 8;
+    spec.stream.pattern.regionWords = 1 << 10;
+    spec.regionStrideWords = 1 << 10;
+    fc.tenants.push_back(spec);
+    fc.limits.maxCycles = 2000000000ULL;
+    return fc;
+}
+
+Point
+measure(std::uint64_t streams, unsigned reps)
+{
+    const fleet::FleetConfig fc = configFor(streams);
+    Point p;
+    p.streams = static_cast<std::uint64_t>(fc.tenants[0].count) *
+                fc.tenants[0].streamsPerTenant;
+    p.tenants = fc.tenants[0].count;
+    p.reps = reps;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const fleet::FleetResult result = fleet::runFleet(fc);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (r == 0 || ms < p.bestMillis)
+            p.bestMillis = ms;
+        p.grants = result.grants;
+        p.cycles = result.cycles;
+    }
+    return p;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    unsigned reps = 3;
+    std::uint64_t max_streams = 100000;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+            reps = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--max-streams") &&
+                   i + 1 < argc) {
+            max_streams = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_fleet [--out FILE] [--reps N] "
+                         "[--max-streams N]\n");
+            return 2;
+        }
+    }
+
+    std::vector<Point> points;
+    for (std::uint64_t n : {100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+        if (n > max_streams)
+            break;
+        points.push_back(measure(n, reps));
+        const Point &p = points.back();
+        std::printf("streams %7llu  tenants %5llu  grants %8llu  "
+                    "best %9.2f ms  %8.1f ns/grant\n",
+                    static_cast<unsigned long long>(p.streams),
+                    static_cast<unsigned long long>(p.tenants),
+                    static_cast<unsigned long long>(p.grants),
+                    p.bestMillis, p.nsPerGrant());
+        std::fflush(stdout);
+    }
+
+    if (points.size() >= 2) {
+        const Point &lo = points.front();
+        const Point &hi = points.back();
+        const double streams_ratio =
+            static_cast<double>(hi.streams) / lo.streams;
+        const double cost_ratio =
+            lo.nsPerGrant() > 0.0 ? hi.nsPerGrant() / lo.nsPerGrant()
+                                  : 0.0;
+        std::printf("scaling: %gx streams -> %.2fx ns/grant "
+                    "(linear would be %gx)\n",
+                    streams_ratio, cost_ratio, streams_ratio);
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << "{\"schemaVersion\": 1, \"tool\": \"bench_fleet\", "
+            << "\"reps\": " << reps << ", \"points\": [";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Point &p = points[i];
+            char buf[256];
+            std::snprintf(buf, sizeof buf,
+                          "%s{\"streams\": %llu, \"tenants\": %llu, "
+                          "\"grants\": %llu, \"cycles\": %llu, "
+                          "\"bestMillis\": %.3f, \"nsPerGrant\": %.1f}",
+                          i ? ", " : "",
+                          static_cast<unsigned long long>(p.streams),
+                          static_cast<unsigned long long>(p.tenants),
+                          static_cast<unsigned long long>(p.grants),
+                          static_cast<unsigned long long>(p.cycles),
+                          p.bestMillis, p.nsPerGrant());
+            out << buf;
+        }
+        out << "]}\n";
+    }
+    return 0;
+}

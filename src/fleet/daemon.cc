@@ -1,0 +1,176 @@
+#include "fleet/daemon.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "fleet/scenario.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace pva::fleet
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+volatile std::sig_atomic_t stopFlag = 0;
+
+extern "C" void
+daemonSignalHandler(int)
+{
+    stopFlag = 1;
+}
+
+/** Spool entries are processed in lexicographic filename order. */
+std::vector<fs::path>
+scanSpool(const fs::path &spool)
+{
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(spool, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const fs::path &p = entry.path();
+        if (p.extension() == ".json")
+            files.push_back(p);
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/** Rename the ingested file so it is never picked up again; on rename
+ *  failure (e.g. read-only spool) fall back to deletion so the daemon
+ *  cannot spin on one file. */
+void
+retireSpoolFile(const fs::path &file, const char *suffix)
+{
+    fs::path done = file;
+    done += suffix;
+    std::error_code ec;
+    fs::rename(file, done, ec);
+    if (ec)
+        fs::remove(file, ec);
+}
+
+void
+writeSidecar(const fs::path &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+} // anonymous namespace
+
+void
+installDaemonSignalHandlers()
+{
+    std::signal(SIGTERM, daemonSignalHandler);
+    std::signal(SIGINT, daemonSignalHandler);
+}
+
+void
+requestDaemonStop()
+{
+    stopFlag = 1;
+}
+
+bool
+daemonStopRequested()
+{
+    return stopFlag != 0;
+}
+
+std::uint64_t
+runDaemon(const DaemonConfig &config, std::ostream &out)
+{
+    if (config.spoolDir.empty()) {
+        throw SimError(SimErrorKind::Config, "daemon", kNeverCycle,
+                       "--serve requires --spool DIR");
+    }
+    const fs::path spool(config.spoolDir);
+    std::error_code ec;
+    fs::create_directories(spool, ec);
+    if (!fs::is_directory(spool)) {
+        throw SimError(SimErrorKind::Config, "daemon", kNeverCycle,
+                       csprintf("spool directory '%s' is not usable",
+                                config.spoolDir.c_str()));
+    }
+    fs::path outDir;
+    if (!config.outDir.empty()) {
+        outDir = fs::path(config.outDir);
+        fs::create_directories(outDir, ec);
+        if (!fs::is_directory(outDir)) {
+            throw SimError(
+                SimErrorKind::Config, "daemon", kNeverCycle,
+                csprintf("output directory '%s' is not usable",
+                         config.outDir.c_str()));
+        }
+    }
+
+    stopFlag = 0;
+    installDaemonSignalHandlers();
+
+    std::uint64_t executed = 0;
+    while (!daemonStopRequested()) {
+        const std::vector<fs::path> batch = scanSpool(spool);
+        if (batch.empty()) {
+            if (config.maxScenarios > 0 &&
+                executed >= config.maxScenarios) {
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(config.pollMillis));
+            continue;
+        }
+        for (const fs::path &file : batch) {
+            // Drain point: finish the scenario in progress, then stop
+            // before taking the next one.
+            if (daemonStopRequested())
+                break;
+            try {
+                Scenario scenario = loadScenarioFile(file.string());
+                scenario.config.jobs = config.jobs;
+                scenario.config.retries = config.retries;
+                const FleetResult result = runFleet(scenario.config);
+                writeScenarioResult(out, scenario, result);
+                out.flush();
+                if (!outDir.empty()) {
+                    const fs::path sidecar =
+                        outDir / (file.stem().string() +
+                                  ".result.json");
+                    std::ofstream rf(sidecar,
+                                     std::ios::binary |
+                                         std::ios::trunc);
+                    writeScenarioResult(rf, scenario, result);
+                }
+                retireSpoolFile(file, ".done");
+                ++executed;
+            } catch (const SimError &err) {
+                // A bad scenario must not take the service down: park
+                // the file as .err with the diagnostic alongside and
+                // keep draining the spool.
+                retireSpoolFile(file, ".err");
+                if (!outDir.empty()) {
+                    writeSidecar(outDir / (file.stem().string() +
+                                           ".error.txt"),
+                                 std::string(err.what()) + "\n");
+                }
+            }
+            if (config.maxScenarios > 0 &&
+                executed >= config.maxScenarios) {
+                return executed;
+            }
+        }
+    }
+    return executed;
+}
+
+} // namespace pva::fleet

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The loadgen daemon: a spool-directory scenario service.
+ *
+ * `pva_loadgen --serve` turns the one-shot scenario runner into a
+ * long-lived service with a deliberately boring ingestion protocol —
+ * files, not sockets. Producers drop scenario JSON documents
+ * (fleet/scenario.hh) into a spool directory; the daemon polls it,
+ * runs each scenario to completion in submission order (lexicographic
+ * by filename, so producers control ordering with name prefixes), and
+ * streams one result line per scenario:
+ *
+ *   - to stdout, as the same versioned single-line document the
+ *     one-shot `--scenario` path prints (byte-identical by
+ *     construction — both go through writeScenarioResult()), and
+ *   - when an output directory is configured, to
+ *     `<out>/<stem>.result.json` so results survive the pipe.
+ *
+ * Ingested spool files are renamed to `<name>.done` (or `<name>.err`
+ * with the error text alongside when the scenario is invalid or the
+ * run fails), so a crashed consumer never re-runs work and a human
+ * can audit exactly what the daemon saw.
+ *
+ * Shutdown is cooperative: SIGTERM/SIGINT set a flag that is checked
+ * between scenarios, never mid-run — the daemon drains the scenario it
+ * is executing, skips the rest of the spool, and exits 0. That makes
+ * `kill` followed by wait a lossless way to stop a fleet sweep.
+ */
+
+#ifndef PVA_FLEET_DAEMON_HH
+#define PVA_FLEET_DAEMON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace pva::fleet
+{
+
+/** Daemon knobs; all paths are used as given (no expansion). */
+struct DaemonConfig
+{
+    std::string spoolDir;    ///< Required: directory to poll
+    std::string outDir;      ///< Optional: per-scenario result files
+    std::uint64_t pollMillis = 200; ///< Sleep between empty polls
+    /** Exit after this many scenarios (0 = run until signalled).
+     *  Bounded runs are what lets CI exercise the full ingest path
+     *  without needing to race a signal against a poll loop. */
+    std::uint64_t maxScenarios = 0;
+    unsigned jobs = 0;       ///< Worker threads per fleet run
+    unsigned retries = 1;    ///< Attempt budget per shard
+};
+
+/**
+ * Run the daemon loop until a stop signal or the scenario budget is
+ * exhausted. Results stream to @p out. Scenario-level failures
+ * (unparseable file, failed run) are reported per-file and do not stop
+ * the daemon; only a missing/uncreatable spool directory throws.
+ *
+ * @return the number of scenarios executed successfully.
+ */
+std::uint64_t runDaemon(const DaemonConfig &config, std::ostream &out);
+
+/** Install the SIGTERM/SIGINT drain handler. Called by runDaemon();
+ *  exposed so tests can simulate a signal via requestDaemonStop(). */
+void installDaemonSignalHandlers();
+
+/** Ask a running daemon loop to drain and exit (signal-safe). */
+void requestDaemonStop();
+
+/** True once a stop was requested (for tests; reset by runDaemon). */
+bool daemonStopRequested();
+
+} // namespace pva::fleet
+
+#endif // PVA_FLEET_DAEMON_HH

@@ -1,0 +1,313 @@
+#include "fleet/fleet_runner.hh"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "fleet/fleet_arbiter.hh"
+#include "fleet/message_bus.hh"
+#include "kernels/sweep_executor.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "sim/simulation.hh"
+
+namespace pva::fleet
+{
+
+namespace
+{
+
+/** Fault-seed advance per retry attempt (matches SweepExecutor). */
+constexpr std::uint64_t kRetrySeedStep = 0x9e3779b97f4a7c15ULL;
+
+void
+jsonSummary(std::ostream &os, const char *key, const LatencySummary &s)
+{
+    os << '"' << key << "\": {\"samples\": " << s.samples
+       << ", \"min\": " << s.min << ", \"max\": " << s.max
+       << ", \"mean\": " << s.mean << ", \"p50\": " << s.p50
+       << ", \"p95\": " << s.p95 << ", \"p99\": " << s.p99
+       << ", \"p999\": " << s.p999 << "}";
+}
+
+/** Where tenant @p t's spec and global stream range live. */
+struct TenantLayout
+{
+    std::size_t spec = 0;
+    std::uint64_t firstStream = 0;
+    std::string name;
+};
+
+/** Everything one shard task hands back for the merge. */
+struct ShardOutcome
+{
+    std::unique_ptr<ServiceStats> merged; ///< Shard-level aggregate
+    std::vector<TenantResult> tenantResults; ///< Local tenant order
+    Cycle cycles = 0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t occCycles = 0;
+    std::uint64_t occSum = 0;
+    std::uint64_t busGrants = 0;
+    std::uint64_t busSheds = 0;
+};
+
+} // anonymous namespace
+
+void
+FleetResult::dumpJson(std::ostream &os) const
+{
+    os << "{\"cycles\": " << cycles << ", \"shards\": " << shards
+       << ", \"tenants\": " << tenants << ", \"streams\": " << streams
+       << ", \"completed\": " << completed << ", \"words\": " << words
+       << ", \"grants\": " << grants << ", \"shed\": " << shed
+       << ", \"shedRate\": " << shedRate
+       << ", \"requestsPerKilocycle\": " << requestsPerKilocycle
+       << ", \"wordsPerCycle\": " << wordsPerCycle
+       << ", \"meanInFlight\": " << meanInFlight
+       << ", \"simTicks\": " << simTicks
+       << ", \"cyclesSkipped\": " << cyclesSkipped
+       << ", \"busGrants\": " << busGrants
+       << ", \"busSheds\": " << busSheds << ", ";
+    jsonSummary(os, "queueDelay", queueDelay);
+    os << ", ";
+    jsonSummary(os, "serviceLatency", serviceLatency);
+    os << ", ";
+    jsonSummary(os, "totalLatency", totalLatency);
+    os << ", \"tenantResults\": [";
+    for (std::size_t i = 0; i < tenantResults.size(); ++i) {
+        const TenantResult &t = tenantResults[i];
+        os << (i ? ", " : "") << "{\"name\": \"" << t.name
+           << "\", \"shard\": " << t.shard
+           << ", \"arrivals\": " << t.arrivals
+           << ", \"completed\": " << t.completed
+           << ", \"deferrals\": " << t.deferrals
+           << ", \"shedDeadline\": " << t.shedDeadline
+           << ", \"shedOverload\": " << t.shedOverload
+           << ", \"queuePeak\": " << t.queuePeak
+           << ", \"words\": " << t.words << ", ";
+        jsonSummary(os, "queueDelay", t.queueDelay);
+        os << ", ";
+        jsonSummary(os, "serviceLatency", t.serviceLatency);
+        os << ", ";
+        jsonSummary(os, "totalLatency", t.totalLatency);
+        os << "}";
+    }
+    os << "]}";
+}
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    if (config.tenants.empty()) {
+        throw SimError(SimErrorKind::Config, "fleet", kNeverCycle,
+                       "at least one tenant spec is required");
+    }
+    for (const TenantSpec &spec : config.tenants) {
+        if (spec.count == 0) {
+            throw SimError(SimErrorKind::Config, "fleet", kNeverCycle,
+                           csprintf("tenant spec '%s' has count 0",
+                                    spec.name.c_str()));
+        }
+        if (spec.streamsPerTenant == 0) {
+            throw SimError(
+                SimErrorKind::Config, "fleet", kNeverCycle,
+                csprintf("tenant spec '%s' has 0 streams per tenant",
+                         spec.name.c_str()));
+        }
+    }
+
+    // Lay the fleet out flat: tenant and stream indices are global,
+    // assigned spec by spec, so seeds and regions are a pure function
+    // of the scenario (not of sharding or scheduling).
+    std::vector<TenantLayout> layout;
+    std::uint64_t globalStream = 0;
+    for (std::size_t si = 0; si < config.tenants.size(); ++si) {
+        const TenantSpec &spec = config.tenants[si];
+        for (unsigned c = 0; c < spec.count; ++c) {
+            TenantLayout tl;
+            tl.spec = si;
+            tl.firstStream = globalStream;
+            tl.name = csprintf("%s%zu", spec.name.c_str(),
+                               layout.size());
+            layout.push_back(std::move(tl));
+            globalStream += spec.streamsPerTenant;
+        }
+    }
+    const std::uint64_t totalTenants = layout.size();
+    const std::uint64_t totalStreams = globalStream;
+
+    unsigned shards = std::max(1u, config.shards);
+    shards = static_cast<unsigned>(
+        std::min<std::uint64_t>(shards, totalTenants));
+
+    const ServiceStats::Detail detail = config.perStreamStats
+        ? ServiceStats::Detail::PerStream
+        : ServiceStats::Detail::AggregateOnly;
+
+    std::vector<ShardOutcome> outcomes(shards);
+
+    auto task = [&](std::size_t s, unsigned attempt) {
+        SystemConfig sys_cfg = config.config;
+        // A retry of a fault-injected shard explores a different
+        // fault timeline rather than replaying the failure.
+        if (attempt > 0 && sys_cfg.faults.enabled())
+            sys_cfg.faults.seed += kRetrySeedStep * attempt;
+
+        MessageBus bus;
+        std::vector<std::unique_ptr<ServiceStats>> tenantStats;
+        std::vector<TenantSeat> seats;
+        for (std::uint64_t t = s; t < totalTenants;
+             t += shards) {
+            const TenantLayout &tl = layout[t];
+            const TenantSpec &spec = config.tenants[tl.spec];
+            std::vector<StreamSource> sources;
+            std::vector<std::string> names;
+            sources.reserve(spec.streamsPerTenant);
+            names.reserve(spec.streamsPerTenant);
+            for (unsigned k = 0; k < spec.streamsPerTenant; ++k) {
+                const std::uint64_t g = tl.firstStream + k;
+                StreamConfig sc = spec.stream;
+                sc.name = csprintf("s%u", k);
+                sc.seed =
+                    spec.stream.seed + kRetrySeedStep * (g + 1);
+                if (spec.regionStrideWords > 0) {
+                    sc.pattern.regionBase =
+                        spec.stream.pattern.regionBase +
+                        g * spec.regionStrideWords;
+                }
+                sources.emplace_back(sc, k, sys_cfg.bc.lineWords);
+                names.push_back(sources.back().name());
+            }
+            tenantStats.push_back(std::make_unique<ServiceStats>(
+                names, detail, tl.name));
+            TenantSeat seat;
+            seat.name = tl.name;
+            seat.sources = std::move(sources);
+            seat.stats = tenantStats.back().get();
+            seats.push_back(std::move(seat));
+        }
+
+        // A decoupled telemetry sink: counts grants and sheds off the
+        // bus, never touching the arbiter (FleetResult cross-checks it
+        // against the arbiter's own counters).
+        std::uint64_t busGrants = 0, busSheds = 0;
+        bus.subscribe<GrantEvent>(
+            [&busGrants](const GrantEvent &) { ++busGrants; });
+        bus.subscribe<ShedEvent>(
+            [&busSheds](const ShedEvent &) { ++busSheds; });
+
+        auto sys = makeSystem(config.system, sys_cfg);
+        FleetArbiter arbiter(config.arbiter, std::move(seats), bus);
+        arbiter.applyPokes(sys->memory());
+
+        Simulation sim(sys_cfg.clocking);
+        sim.add(sys.get());
+        sim.runUntil(
+            [&] {
+                bool done = arbiter.service(*sys, sim.now());
+                if (!done)
+                    sim.requestWake(arbiter.nextWake(sim.now()));
+                return done;
+            },
+            config.limits.maxCycles, config.limits.timeoutMillis);
+
+        ShardOutcome out;
+        out.cycles = sim.now();
+        out.simTicks = sim.simTicks();
+        out.cyclesSkipped = sim.cyclesSkipped();
+        out.grants = arbiter.grants();
+        out.occCycles = arbiter.occupancyCycles();
+        out.occSum = arbiter.occupancySum();
+        out.busGrants = busGrants;
+        out.busSheds = busSheds;
+        out.merged = std::make_unique<ServiceStats>(
+            std::vector<std::string>{},
+            ServiceStats::Detail::AggregateOnly, "fleet");
+        out.tenantResults.reserve(tenantStats.size());
+        for (std::size_t j = 0; j < tenantStats.size(); ++j) {
+            const ServiceStats &st = *tenantStats[j];
+            out.merged->mergeFrom(st);
+            TenantResult tr;
+            tr.name = layout[s + j * shards].name;
+            tr.shard = static_cast<unsigned>(s);
+            tr.arrivals = st.arrivalsTotal();
+            tr.completed = st.completedTotal();
+            tr.deferrals = st.deferralsTotal();
+            tr.shedDeadline = st.shedDeadlineTotal();
+            tr.shedOverload = st.shedOverloadTotal();
+            tr.queuePeak = st.queuePeakTotal();
+            tr.words = st.wordsTotal();
+            tr.queueDelay = st.aggregateQueueDelay();
+            tr.serviceLatency = st.aggregateServiceLatency();
+            tr.totalLatency = st.aggregateTotalLatency();
+            out.tenantResults.push_back(std::move(tr));
+        }
+        outcomes[s] = std::move(out);
+    };
+
+    SweepExecutor executor(config.jobs);
+    executor.setMaxAttempts(std::max(1u, config.retries));
+    TaskReport report = executor.runTasks(shards, task);
+    if (!report.allOk()) {
+        const TaskFailure &f = report.failures.front();
+        throw SimError(
+            SimErrorKind::Watchdog, "fleet", kNeverCycle,
+            csprintf("shard %zu failed after %u attempts: %s", f.index,
+                     f.attempts, f.error.c_str()));
+    }
+
+    // Merge in shard-index order: every reduction below is associative
+    // and order-fixed, so the result is identical at any --jobs.
+    FleetResult r;
+    r.shards = shards;
+    r.tenants = totalTenants;
+    r.streams = totalStreams;
+    r.tenantResults.resize(totalTenants);
+    ServiceStats fleetStats(std::vector<std::string>{},
+                            ServiceStats::Detail::AggregateOnly,
+                            "fleet");
+    std::uint64_t occCycles = 0, occSum = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+        ShardOutcome &out = outcomes[s];
+        r.cycles = std::max(r.cycles, out.cycles);
+        r.simTicks += out.simTicks;
+        r.cyclesSkipped += out.cyclesSkipped;
+        r.grants += out.grants;
+        r.busGrants += out.busGrants;
+        r.busSheds += out.busSheds;
+        occCycles += out.occCycles;
+        occSum += out.occSum;
+        fleetStats.mergeFrom(*out.merged);
+        for (std::size_t j = 0; j < out.tenantResults.size(); ++j) {
+            r.tenantResults[s + j * shards] =
+                std::move(out.tenantResults[j]);
+        }
+    }
+    r.completed = fleetStats.completedTotal();
+    r.words = fleetStats.wordsTotal();
+    r.shed = fleetStats.shedTotal();
+    if (r.completed + r.shed > 0) {
+        r.shedRate = static_cast<double>(r.shed) /
+                     static_cast<double>(r.completed + r.shed);
+    }
+    if (r.cycles > 0) {
+        r.requestsPerKilocycle = static_cast<double>(r.completed) *
+                                 1000.0 /
+                                 static_cast<double>(r.cycles);
+        r.wordsPerCycle = static_cast<double>(r.words) /
+                          static_cast<double>(r.cycles);
+    }
+    if (occCycles > 0) {
+        r.meanInFlight = static_cast<double>(occSum) /
+                         static_cast<double>(occCycles);
+    }
+    r.queueDelay = fleetStats.aggregateQueueDelay();
+    r.serviceLatency = fleetStats.aggregateServiceLatency();
+    r.totalLatency = fleetStats.aggregateTotalLatency();
+    return r;
+}
+
+} // namespace pva::fleet

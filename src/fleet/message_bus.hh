@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A minimal typed publish/subscribe bus for the fleet layer.
+ *
+ * The hierarchical arbiter (fleet/fleet_arbiter.hh) has two tiers —
+ * per-tenant arbiters and a root arbiter — plus optional statistics
+ * sinks, and none of them should hard-couple: a tenant announcing
+ * "my best candidate changed" must not know whether a root heap, a
+ * telemetry counter, or nothing at all is listening. The MessageBus
+ * gives each message type its own Channel of subscribers; publishing
+ * to a channel nobody subscribed to is one branch, so hot-path
+ * notifications (per-grant, per-head-change) stay cheap.
+ *
+ * Everything is single-threaded by design: one FleetArbiter and its
+ * tenants live on one simulation thread (shard parallelism happens at
+ * the SweepExecutor level, one fleet per task), so no locking.
+ */
+
+#ifndef PVA_FLEET_MESSAGE_BUS_HH
+#define PVA_FLEET_MESSAGE_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pva::fleet
+{
+
+/** Subscribers of one message type, invoked in subscription order. */
+template <typename Message>
+class Channel
+{
+  public:
+    using Handler = std::function<void(const Message &)>;
+
+    void subscribe(Handler handler)
+    {
+        handlers.push_back(std::move(handler));
+    }
+
+    void publish(const Message &msg) const
+    {
+        for (const Handler &h : handlers)
+            h(msg);
+    }
+
+    bool hasSubscribers() const { return !handlers.empty(); }
+
+  private:
+    std::vector<Handler> handlers;
+};
+
+/** Type-indexed registry of channels; one per message type. */
+class MessageBus
+{
+  public:
+    template <typename Message>
+    Channel<Message> &channel()
+    {
+        auto it = channels.find(std::type_index(typeid(Message)));
+        if (it == channels.end()) {
+            it = channels
+                     .emplace(std::type_index(typeid(Message)),
+                              Entry{new Channel<Message>(),
+                                    [](void *p) {
+                                        delete static_cast<
+                                            Channel<Message> *>(p);
+                                    }})
+                     .first;
+        }
+        return *static_cast<Channel<Message> *>(it->second.ptr);
+    }
+
+    template <typename Message>
+    void subscribe(std::function<void(const Message &)> handler)
+    {
+        channel<Message>().subscribe(std::move(handler));
+    }
+
+    template <typename Message>
+    void publish(const Message &msg)
+    {
+        channel<Message>().publish(msg);
+    }
+
+    MessageBus() = default;
+    MessageBus(const MessageBus &) = delete;
+    MessageBus &operator=(const MessageBus &) = delete;
+    ~MessageBus()
+    {
+        for (auto &[type, entry] : channels)
+            entry.deleter(entry.ptr);
+    }
+
+  private:
+    struct Entry
+    {
+        void *ptr;
+        void (*deleter)(void *);
+    };
+    std::unordered_map<std::type_index, Entry> channels;
+};
+
+/** @name Fleet arbitration messages (fleet/fleet_arbiter.hh) @{ */
+
+/** A tenant's grant candidate may have changed (head enqueue, grant,
+ *  or shed); the root tier refreshes its cached entry. */
+struct TenantDirty
+{
+    unsigned tenant;
+};
+
+/** A tenant crossed the empty <-> non-empty boundary (any queued
+ *  request at all); drives the root round-robin occupancy set. */
+struct TenantActivation
+{
+    unsigned tenant;
+    bool nonEmpty;
+};
+
+/** One request granted to the memory system (telemetry sinks). */
+struct GrantEvent
+{
+    unsigned tenant;
+    unsigned stream; ///< Tenant-local stream index
+    std::uint64_t waited; ///< Queueing delay at grant (cycles)
+};
+
+/** One request shed (telemetry sinks). */
+struct ShedEvent
+{
+    unsigned tenant;
+    unsigned stream;  ///< Tenant-local stream index
+    bool deadline;    ///< true = deadline shed, false = overload shed
+};
+
+/** A stream retired: exhausted with an empty queue. The root tier
+ *  counts these down to detect fleet drain in O(1). */
+struct StreamRetired
+{
+    unsigned tenant;
+};
+
+/** @} */
+
+} // namespace pva::fleet
+
+#endif // PVA_FLEET_MESSAGE_BUS_HH

@@ -310,8 +310,13 @@ class Parser
             }
             return pos > before;
         };
+        std::size_t int_start = pos;
         if (!digits())
             return fail("invalid number");
+        // JSON forbids leading zeros ("01"); octal-looking literals
+        // in a checkpoint are corruption, not a format choice.
+        if (in[int_start] == '0' && pos - int_start > 1)
+            return fail("invalid number (leading zero)");
         if (pos < in.size() && in[pos] == '.') {
             ++pos;
             if (!digits())

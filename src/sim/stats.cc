@@ -114,6 +114,27 @@ LogHistogram::preallocate()
         counts.assign(kBucketCount, 0);
 }
 
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.sampleCount == 0)
+        return;
+    if (sampleCount == 0) {
+        minSeen = other.minSeen;
+        maxSeen = other.maxSeen;
+    } else {
+        if (other.minSeen < minSeen)
+            minSeen = other.minSeen;
+        if (other.maxSeen > maxSeen)
+            maxSeen = other.maxSeen;
+    }
+    sampleCount += other.sampleCount;
+    sum += other.sum;
+    preallocate();
+    for (unsigned i = 0; i < kBucketCount; ++i)
+        counts[i] += other.counts[i];
+}
+
 double
 LogHistogram::mean() const
 {

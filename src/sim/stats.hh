@@ -94,6 +94,19 @@ class LogHistogram
      */
     void preallocate();
 
+    /**
+     * Fold @p other into this histogram: bucket-wise count addition
+     * plus combined min/max/sum/samples. Because buckets are a fixed
+     * global partition of the value axis, merging is associative and
+     * commutative — any merge tree over the same sample multiset
+     * yields identical buckets, so percentile queries after a merge
+     * carry the same ~12.5% relative bucket error bound as sampling
+     * every value into one histogram directly. This is what lets the
+     * fleet layer shard scenario fleets and still report exact
+     * aggregate tail latencies (src/fleet/, docs/TRAFFIC.md).
+     */
+    void merge(const LogHistogram &other);
+
     std::uint64_t samples() const { return sampleCount; }
     std::uint64_t minValue() const { return minSeen; }
     std::uint64_t maxValue() const { return maxSeen; }

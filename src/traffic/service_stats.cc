@@ -18,7 +18,9 @@ summarize(const LogHistogram &h)
     return s;
 }
 
-ServiceStats::ServiceStats(const std::vector<std::string> &names)
+ServiceStats::ServiceStats(const std::vector<std::string> &names,
+                           Detail detail, const std::string &prefix)
+    : streamCount(names.size())
 {
     // All traffic metrics live under the "traffic." namespace so the
     // tools' JSON envelope carries one predictable key shape (see
@@ -44,50 +46,86 @@ ServiceStats::ServiceStats(const std::vector<std::string> &names)
         c.totalLatency.preallocate();
     };
 
-    perStream.reserve(names.size());
-    for (const std::string &name : names) {
-        perStream.push_back(std::make_unique<StreamCounters>());
-        registerOne("traffic." + name, *perStream.back());
+    if (detail == Detail::PerStream) {
+        perStream.reserve(names.size());
+        for (const std::string &name : names) {
+            perStream.push_back(std::make_unique<StreamCounters>());
+            registerOne(prefix + "." + name, *perStream.back());
+        }
     }
-    registerOne("traffic.agg", aggregate);
-    statSet.addScalar("traffic.agg.cycles", &statCycles);
-    statSet.addScalar("traffic.agg.occupancySum", &statOccupancySum);
+    registerOne(prefix + ".agg", aggregate);
+    statSet.addScalar(prefix + ".agg.cycles", &statCycles);
+    statSet.addScalar(prefix + ".agg.occupancySum", &statOccupancySum);
+}
+
+void
+ServiceStats::mergeFrom(const ServiceStats &other)
+{
+    auto mergeCounters = [](StreamCounters &into,
+                            const StreamCounters &from) {
+        into.arrivals += from.arrivals.value();
+        into.submitted += from.submitted.value();
+        into.completed += from.completed.value();
+        into.deferrals += from.deferrals.value();
+        into.shedDeadline += from.shedDeadline.value();
+        into.shedOverload += from.shedOverload.value();
+        if (from.queuePeak.value() > into.queuePeak.value())
+            into.queuePeak.set(from.queuePeak.value());
+        into.wordsRead += from.wordsRead.value();
+        into.wordsWritten += from.wordsWritten.value();
+        into.queueDelay.merge(from.queueDelay);
+        into.serviceLatency.merge(from.serviceLatency);
+        into.totalLatency.merge(from.totalLatency);
+    };
+    mergeCounters(aggregate, other.aggregate);
+    if (perStream.size() == other.perStream.size()) {
+        for (std::size_t i = 0; i < perStream.size(); ++i)
+            mergeCounters(*perStream[i], *other.perStream[i]);
+    }
+    statCycles += other.statCycles.value();
+    statOccupancySum += other.statOccupancySum.value();
 }
 
 void
 ServiceStats::onArrival(unsigned stream)
 {
-    ++perStream[stream]->arrivals;
+    if (!perStream.empty())
+        ++perStream[stream]->arrivals;
     ++aggregate.arrivals;
 }
 
 void
 ServiceStats::onDeferred(unsigned stream)
 {
-    ++perStream[stream]->deferrals;
+    if (!perStream.empty())
+        ++perStream[stream]->deferrals;
     ++aggregate.deferrals;
 }
 
 void
 ServiceStats::onShedDeadline(unsigned stream)
 {
-    ++perStream[stream]->shedDeadline;
+    if (!perStream.empty())
+        ++perStream[stream]->shedDeadline;
     ++aggregate.shedDeadline;
 }
 
 void
 ServiceStats::onShedOverload(unsigned stream)
 {
-    ++perStream[stream]->shedOverload;
+    if (!perStream.empty())
+        ++perStream[stream]->shedOverload;
     ++aggregate.shedOverload;
 }
 
 void
 ServiceStats::onQueueDepth(unsigned stream, std::size_t depth)
 {
-    StreamCounters &c = *perStream[stream];
-    if (depth > c.queuePeak.value())
-        c.queuePeak += depth - c.queuePeak.value();
+    if (!perStream.empty()) {
+        StreamCounters &c = *perStream[stream];
+        if (depth > c.queuePeak.value())
+            c.queuePeak += depth - c.queuePeak.value();
+    }
     if (depth > aggregate.queuePeak.value())
         aggregate.queuePeak += depth - aggregate.queuePeak.value();
 }
@@ -95,9 +133,11 @@ ServiceStats::onQueueDepth(unsigned stream, std::size_t depth)
 void
 ServiceStats::onSubmit(unsigned stream, Cycle queue_delay)
 {
-    StreamCounters &c = *perStream[stream];
-    ++c.submitted;
-    c.queueDelay.sample(queue_delay);
+    if (!perStream.empty()) {
+        StreamCounters &c = *perStream[stream];
+        ++c.submitted;
+        c.queueDelay.sample(queue_delay);
+    }
     ++aggregate.submitted;
     aggregate.queueDelay.sample(queue_delay);
 }
@@ -107,20 +147,23 @@ ServiceStats::onComplete(unsigned stream, Cycle service_latency,
                          Cycle total_latency, std::uint32_t words,
                          bool is_read)
 {
+    ++aggregate.completed;
+    aggregate.serviceLatency.sample(service_latency);
+    aggregate.totalLatency.sample(total_latency);
+    if (is_read)
+        aggregate.wordsRead += words;
+    else
+        aggregate.wordsWritten += words;
+    if (perStream.empty())
+        return;
     StreamCounters &c = *perStream[stream];
     ++c.completed;
     c.serviceLatency.sample(service_latency);
     c.totalLatency.sample(total_latency);
-    ++aggregate.completed;
-    aggregate.serviceLatency.sample(service_latency);
-    aggregate.totalLatency.sample(total_latency);
-    if (is_read) {
+    if (is_read)
         c.wordsRead += words;
-        aggregate.wordsRead += words;
-    } else {
+    else
         c.wordsWritten += words;
-        aggregate.wordsWritten += words;
-    }
 }
 
 void
@@ -140,7 +183,8 @@ ServiceStats::onCycleGap(Cycle cycles, std::size_t in_flight)
 void
 ServiceStats::onDeferredGap(unsigned stream, Cycle cycles)
 {
-    perStream[stream]->deferrals += cycles;
+    if (!perStream.empty())
+        perStream[stream]->deferrals += cycles;
     aggregate.deferrals += cycles;
 }
 
@@ -154,6 +198,36 @@ std::uint64_t
 ServiceStats::completedTotal() const
 {
     return aggregate.completed.value();
+}
+
+std::uint64_t
+ServiceStats::arrivalsTotal() const
+{
+    return aggregate.arrivals.value();
+}
+
+std::uint64_t
+ServiceStats::deferralsTotal() const
+{
+    return aggregate.deferrals.value();
+}
+
+std::uint64_t
+ServiceStats::shedDeadlineTotal() const
+{
+    return aggregate.shedDeadline.value();
+}
+
+std::uint64_t
+ServiceStats::shedOverloadTotal() const
+{
+    return aggregate.shedOverload.value();
+}
+
+std::uint64_t
+ServiceStats::queuePeakTotal() const
+{
+    return aggregate.queuePeak.value();
 }
 
 std::uint64_t

@@ -51,8 +51,29 @@ LatencySummary summarize(const LogHistogram &h);
 class ServiceStats
 {
   public:
-    /** @param names one display name per stream (used as stat prefix). */
-    explicit ServiceStats(const std::vector<std::string> &names);
+    /**
+     * How much per-stream state to keep. A fleet-scale tenant
+     * (src/fleet/) modeling 10^4+ streams keeps AggregateOnly stats —
+     * three preallocated histograms per *stream* would dominate its
+     * memory footprint — while the classic traffic path keeps the
+     * full per-stream registry.
+     */
+    enum class Detail
+    {
+        PerStream,     ///< Per-stream counters + histograms + aggregate
+        AggregateOnly, ///< Aggregate counters/histograms only
+    };
+
+    /**
+     * @param names one display name per stream (used as stat prefix).
+     * @param detail per-stream registry or aggregate-only (see Detail).
+     * @param prefix stat-name namespace ("traffic" for the classic
+     *        arbiter; tenants use their own name so merged registries
+     *        cannot collide).
+     */
+    explicit ServiceStats(const std::vector<std::string> &names,
+                          Detail detail = Detail::PerStream,
+                          const std::string &prefix = "traffic");
 
     /** @name Event hooks (called by the StreamArbiter) @{ */
     void onArrival(unsigned stream);
@@ -75,15 +96,50 @@ class ServiceStats
     void onDeferredGap(unsigned stream, Cycle cycles);
     /** @} */
 
-    std::size_t streams() const { return perStream.size(); }
+    std::size_t streams() const { return streamCount; }
+
+    /** Keeping per-stream counters (Detail::PerStream)? */
+    bool perStreamDetail() const { return !perStream.empty(); }
+
+    /**
+     * Fold @p other into this instance: aggregate counters add,
+     * aggregate histograms merge bucket-wise, occupancy samples add,
+     * and — when both sides keep per-stream detail with the same
+     * stream count — per-stream slots merge index-wise. Associative
+     * and order-independent (see LogHistogram::merge), which is what
+     * makes sharded fleet runs reduce to one deterministic result.
+     */
+    void mergeFrom(const ServiceStats &other);
+
+    /** @name Aggregate histogram access (for cross-shard merging) @{ */
+    const LogHistogram &aggregateQueueDelayHist() const
+    {
+        return aggregate.queueDelay;
+    }
+    const LogHistogram &aggregateServiceLatencyHist() const
+    {
+        return aggregate.serviceLatency;
+    }
+    const LogHistogram &aggregateTotalLatencyHist() const
+    {
+        return aggregate.totalLatency;
+    }
+    /** @} */
 
     /** The registered stat registry (for dump/dumpJson/queries). */
     StatSet &set() { return statSet; }
     const StatSet &set() const { return statSet; }
 
-    /** @name Convenience queries @{ */
+    /** @name Convenience queries
+     * The per-stream overloads require Detail::PerStream; the *Total
+     * forms work in either mode. @{ */
     std::uint64_t completed(unsigned stream) const;
     std::uint64_t completedTotal() const;
+    std::uint64_t arrivalsTotal() const;
+    std::uint64_t deferralsTotal() const;
+    std::uint64_t shedDeadlineTotal() const;
+    std::uint64_t shedOverloadTotal() const;
+    std::uint64_t queuePeakTotal() const; ///< Deepest queue, any stream
     std::uint64_t wordsTotal() const;
     std::uint64_t deferrals(unsigned stream) const;
     std::uint64_t shedDeadline(unsigned stream) const;
@@ -118,7 +174,9 @@ class ServiceStats
     };
 
     StatSet statSet;
-    /** unique_ptr keeps registered stat addresses stable. */
+    std::size_t streamCount = 0;
+    /** unique_ptr keeps registered stat addresses stable. Empty under
+     *  Detail::AggregateOnly. */
     std::vector<std::unique_ptr<StreamCounters>> perStream;
     StreamCounters aggregate;
     Scalar statCycles;          ///< Occupancy samples taken

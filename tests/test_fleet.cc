@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Fleet subsystem tests.
+ *
+ * The load-bearing one is the differential: a single-tenant fleet
+ * under the hierarchical FleetArbiter must be cycle-exact against the
+ * flat StreamArbiter across systems, policies, clocking modes, and
+ * shed configurations — same drain cycle, same latency distributions,
+ * same counters. That is what licenses every fleet-scale number the
+ * capacity-planning recipes produce.
+ *
+ * The rest holds the sharded runner to its determinism contract
+ * (byte-identical JSON at any worker count), checks conservation
+ * across tenants, and cross-checks the MessageBus telemetry path
+ * against the arbiter's own counters.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expect_sim_error.hh"
+#include "fleet/fleet_runner.hh"
+#include "sim/sim_error.hh"
+#include "traffic/traffic_runner.hh"
+
+using namespace pva;
+
+namespace
+{
+
+/** The fleet runner's per-stream seed mix (fleet/fleet_runner.hh). */
+constexpr std::uint64_t kSeedStep = 0x9e3779b97f4a7c15ULL;
+
+struct Variant
+{
+    SystemKind system;
+    ArbPolicy policy;
+    ClockingMode clocking;
+    bool shed;
+};
+
+std::string
+variantName(const Variant &v)
+{
+    std::string s = systemShortName(v.system);
+    s += "/";
+    s += arbPolicyName(v.policy);
+    s += "/";
+    s += clockingModeName(v.clocking);
+    s += v.shed ? "/shed" : "/noshed";
+    return s;
+}
+
+/** Shared stream shape: open-loop so shedding has queues to cut. */
+StreamConfig
+templateStream(bool shed)
+{
+    StreamConfig s;
+    s.mode = ArrivalMode::OpenLoop;
+    s.requestsPerKilocycle = shed ? 60.0 : 20.0;
+    s.requests = 48;
+    s.queueCapacity = 8;
+    s.seed = 9;
+    s.pattern.minLength = 8;
+    s.pattern.maxLength = 8;
+    s.pattern.regionWords = 1 << 14;
+    return s;
+}
+
+fleet::FleetConfig
+fleetConfig(const Variant &v, unsigned streams)
+{
+    fleet::FleetConfig fc;
+    fc.system = v.system;
+    fc.config.clocking = v.clocking;
+    fc.arbiter.policy = v.policy;
+    fc.arbiter.agingThreshold = 512;
+    fc.arbiter.shed.enabled = v.shed;
+    fc.arbiter.shed.defaultDeadline = 400;
+    fc.arbiter.shed.queueHighWatermark = 0.75;
+    fc.perStreamStats = true;
+
+    fleet::TenantSpec spec;
+    spec.count = 1;
+    spec.streamsPerTenant = streams;
+    spec.stream = templateStream(v.shed);
+    spec.regionStrideWords = spec.stream.pattern.regionWords;
+    fc.tenants.push_back(spec);
+    return fc;
+}
+
+/** The flat twin: same streams, same seeds, same regions. */
+TrafficConfig
+flatTwin(const Variant &v, unsigned streams)
+{
+    TrafficConfig tc;
+    tc.system = v.system;
+    tc.config.clocking = v.clocking;
+    tc.arbiter.policy = v.policy;
+    tc.arbiter.agingThreshold = 512;
+    tc.arbiter.shed.enabled = v.shed;
+    tc.arbiter.shed.defaultDeadline = 400;
+    tc.arbiter.shed.queueHighWatermark = 0.75;
+    const StreamConfig base = templateStream(v.shed);
+    for (unsigned g = 0; g < streams; ++g) {
+        StreamConfig s = base;
+        s.seed = base.seed + kSeedStep * (g + 1);
+        s.pattern.regionBase =
+            base.pattern.regionBase + g * base.pattern.regionWords;
+        if (v.policy == ArbPolicy::Priority)
+            s.priority = 0;
+        tc.streams.push_back(std::move(s));
+    }
+    return tc;
+}
+
+void
+expectSummaryEq(const LatencySummary &a, const LatencySummary &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.samples, b.samples) << what;
+    EXPECT_EQ(a.min, b.min) << what;
+    EXPECT_EQ(a.max, b.max) << what;
+    EXPECT_DOUBLE_EQ(a.mean, b.mean) << what;
+    EXPECT_EQ(a.p50, b.p50) << what;
+    EXPECT_EQ(a.p95, b.p95) << what;
+    EXPECT_EQ(a.p99, b.p99) << what;
+    EXPECT_EQ(a.p999, b.p999) << what;
+}
+
+std::string
+jsonOf(const fleet::FleetResult &r)
+{
+    std::ostringstream os;
+    r.dumpJson(os);
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(FleetDifferential, SingleTenantMatchesFlatArbiterExactly)
+{
+    const unsigned streams = 6;
+    for (SystemKind system :
+         {SystemKind::PvaSdram, SystemKind::CacheLine}) {
+        for (ArbPolicy policy : {ArbPolicy::Fifo, ArbPolicy::RoundRobin,
+                                 ArbPolicy::Priority}) {
+            for (ClockingMode clocking :
+                 {ClockingMode::Exhaustive, ClockingMode::Event}) {
+                for (bool shed : {false, true}) {
+                    const Variant v{system, policy, clocking, shed};
+                    SCOPED_TRACE(variantName(v));
+                    const TrafficResult flat =
+                        runTraffic(flatTwin(v, streams));
+                    const fleet::FleetResult hier =
+                        fleet::runFleet(fleetConfig(v, streams));
+
+                    EXPECT_EQ(hier.cycles, flat.cycles);
+                    EXPECT_EQ(hier.completed, flat.completed);
+                    EXPECT_EQ(hier.words, flat.words);
+                    EXPECT_EQ(hier.shed, flat.shed);
+                    expectSummaryEq(hier.queueDelay, flat.queueDelay,
+                                    "queueDelay");
+                    expectSummaryEq(hier.serviceLatency,
+                                    flat.serviceLatency,
+                                    "serviceLatency");
+                    expectSummaryEq(hier.totalLatency,
+                                    flat.totalLatency, "totalLatency");
+                    // Telemetry observed on the bus must agree with
+                    // the counters the arbiter kept itself.
+                    EXPECT_EQ(hier.busGrants, hier.grants);
+                    EXPECT_EQ(hier.busSheds, hier.shed);
+                }
+            }
+        }
+    }
+}
+
+TEST(FleetDifferential, PriorityRampMatchesFlatUnderAging)
+{
+    // Distinct priorities exercise the aged-head starvation guard in
+    // the hierarchical root arbiter.
+    Variant v{SystemKind::PvaSdram, ArbPolicy::Priority,
+              ClockingMode::Event, false};
+    const unsigned streams = 5;
+
+    fleet::FleetConfig fc;
+    fc.system = v.system;
+    fc.arbiter.policy = v.policy;
+    fc.arbiter.agingThreshold = 256;
+    fc.perStreamStats = true;
+    for (unsigned g = 0; g < streams; ++g) {
+        fleet::TenantSpec spec;
+        spec.name = "p";
+        spec.count = 1;
+        spec.streamsPerTenant = 1;
+        spec.stream = templateStream(false);
+        spec.stream.priority = g;
+        spec.stream.seed = 9 + 100 * g;
+        spec.stream.pattern.regionBase =
+            static_cast<WordAddr>(g) << 14;
+        fc.tenants.push_back(spec);
+    }
+
+    TrafficConfig tc;
+    tc.system = v.system;
+    tc.arbiter.policy = v.policy;
+    tc.arbiter.agingThreshold = 256;
+    for (unsigned g = 0; g < streams; ++g) {
+        StreamConfig s = templateStream(false);
+        s.priority = g;
+        // Tenant g's only stream has global index g.
+        s.seed = (9 + 100 * g) + kSeedStep * (g + 1);
+        s.pattern.regionBase = static_cast<WordAddr>(g) << 14;
+        tc.streams.push_back(std::move(s));
+    }
+
+    const TrafficResult flat = runTraffic(tc);
+    const fleet::FleetResult hier = fleet::runFleet(fc);
+    EXPECT_EQ(hier.cycles, flat.cycles);
+    EXPECT_EQ(hier.completed, flat.completed);
+    expectSummaryEq(hier.totalLatency, flat.totalLatency,
+                    "totalLatency");
+}
+
+TEST(FleetRunner, ResultsAreByteIdenticalAcrossWorkerCounts)
+{
+    Variant v{SystemKind::PvaSdram, ArbPolicy::Fifo,
+              ClockingMode::Event, true};
+    fleet::FleetConfig fc = fleetConfig(v, 2);
+    fc.tenants[0].count = 8;
+    fc.tenants[0].name = "t";
+    fc.shards = 4;
+    fc.perStreamStats = false;
+
+    std::string first;
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        fc.jobs = jobs;
+        const std::string dump = jsonOf(fleet::runFleet(fc));
+        if (first.empty())
+            first = dump;
+        else
+            EXPECT_EQ(dump, first) << "jobs=" << jobs;
+    }
+}
+
+TEST(FleetRunner, ReshardingPreservesPerTenantWork)
+{
+    // Offered work is a pure function of the scenario; sharding only
+    // changes which streams contend. Per-tenant completions must be
+    // identical at any shard count (each shard is its own memory
+    // system, so per-tenant latency legitimately changes).
+    Variant v{SystemKind::PvaSdram, ArbPolicy::Fifo,
+              ClockingMode::Event, false};
+    fleet::FleetConfig fc = fleetConfig(v, 2);
+    fc.tenants[0].count = 6;
+
+    std::vector<std::uint64_t> completions;
+    for (unsigned shards : {1u, 2u, 6u}) {
+        fc.shards = shards;
+        const fleet::FleetResult r = fleet::runFleet(fc);
+        std::vector<std::uint64_t> got;
+        for (const fleet::TenantResult &t : r.tenantResults)
+            got.push_back(t.completed);
+        ASSERT_EQ(got.size(), 6u);
+        if (completions.empty())
+            completions = got;
+        else
+            EXPECT_EQ(got, completions) << "shards=" << shards;
+    }
+}
+
+TEST(FleetRunner, MultiTenantTotalsAreConserved)
+{
+    Variant v{SystemKind::PvaSdram, ArbPolicy::RoundRobin,
+              ClockingMode::Event, true};
+    fleet::FleetConfig fc = fleetConfig(v, 3);
+    fc.tenants[0].count = 5;
+    fc.shards = 2;
+
+    const fleet::FleetResult r = fleet::runFleet(fc);
+    EXPECT_EQ(r.tenants, 5u);
+    EXPECT_EQ(r.streams, 15u);
+    EXPECT_EQ(r.shards, 2u);
+    std::uint64_t completed = 0, shed = 0, words = 0;
+    for (const fleet::TenantResult &t : r.tenantResults) {
+        completed += t.completed;
+        shed += t.shedDeadline + t.shedOverload;
+        words += t.words;
+    }
+    EXPECT_EQ(completed, r.completed);
+    EXPECT_EQ(shed, r.shed);
+    EXPECT_EQ(words, r.words);
+    EXPECT_EQ(r.grants, r.completed);
+    EXPECT_EQ(r.busGrants, r.grants);
+    EXPECT_EQ(r.busSheds, r.shed);
+    // Every stream either completed or shed its offered requests.
+    EXPECT_EQ(r.completed + r.shed,
+              static_cast<std::uint64_t>(15 * 48));
+}
+
+TEST(FleetRunner, TimingCheckComposesAtFleetScale)
+{
+    // Disjoint per-stream regions keep the shadow-memory check clean.
+    Variant v{SystemKind::PvaSdram, ArbPolicy::Fifo,
+              ClockingMode::Event, false};
+    fleet::FleetConfig fc = fleetConfig(v, 2);
+    fc.tenants[0].count = 3;
+    fc.config.timingCheck = true;
+    fc.tenants[0].stream.pattern.readFraction = 0.5;
+    const fleet::FleetResult r = fleet::runFleet(fc);
+    EXPECT_EQ(r.completed, 6u * 48u);
+}
+
+TEST(FleetRunner, RejectsEmptyAndMalformedFleets)
+{
+    fleet::FleetConfig fc;
+    test::expectSimError([&] { fleet::runFleet(fc); },
+                         SimErrorKind::Config, "tenant");
+
+    fleet::TenantSpec spec;
+    spec.count = 0;
+    fc.tenants.push_back(spec);
+    test::expectSimError([&] { fleet::runFleet(fc); },
+                         SimErrorKind::Config, "count");
+
+    fc.tenants[0].count = 1;
+    fc.tenants[0].streamsPerTenant = 0;
+    test::expectSimError([&] { fleet::runFleet(fc); },
+                         SimErrorKind::Config, "streams");
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Scenario-file tests: the JSON → FleetConfig mapping, the strict
+ * unknown-key/type rejection that keeps spool input honest, and the
+ * one-line result document both the one-shot path and the daemon
+ * emit.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "expect_sim_error.hh"
+#include "fleet/scenario.hh"
+#include "sim/sim_error.hh"
+
+using namespace pva;
+
+namespace
+{
+
+const char *kFull = R"({
+  "kind": "fleet",
+  "name": "capacity-a",
+  "system": "cacheline",
+  "policy": "priority",
+  "aging": 2048,
+  "clocking": "exhaustive",
+  "check": true,
+  "shards": 3,
+  "seed": 42,
+  "maxCycles": 123456,
+  "perStreamStats": true,
+  "shed": {"enabled": true, "deadline": 250, "watermark": 0.5},
+  "tenants": [
+    {"name": "web", "count": 4, "streamsPerTenant": 2,
+     "regionStrideWords": 8192,
+     "stream": {"mode": "open", "window": 6, "rate": 33.5,
+                "requests": 77, "priority": 3, "queueCap": 9,
+                "deadline": 111,
+                "pattern": {"regionBase": 64, "regionWords": 8192,
+                            "minStride": 2, "maxStride": 5,
+                            "minLength": 16, "maxLength": 24,
+                            "readFraction": 0.25, "indirect": true}}},
+    {"name": "batch", "count": 1, "streamsPerTenant": 1}
+  ]
+})";
+
+void
+expectScenarioError(const std::string &text, const std::string &substr)
+{
+    test::expectSimError(
+        [&] { fleet::parseScenarioText(text); }, SimErrorKind::Config,
+        substr);
+}
+
+} // anonymous namespace
+
+TEST(FleetScenario, FullDocumentMapsOntoFleetConfig)
+{
+    const fleet::Scenario sc = fleet::parseScenarioText(kFull);
+    EXPECT_EQ(sc.name, "capacity-a");
+    const fleet::FleetConfig &fc = sc.config;
+    EXPECT_EQ(fc.system, SystemKind::CacheLine);
+    EXPECT_EQ(fc.arbiter.policy, ArbPolicy::Priority);
+    EXPECT_EQ(fc.arbiter.agingThreshold, 2048u);
+    EXPECT_EQ(fc.config.clocking, ClockingMode::Exhaustive);
+    EXPECT_TRUE(fc.config.timingCheck);
+    EXPECT_EQ(fc.shards, 3u);
+    EXPECT_EQ(fc.limits.maxCycles, 123456u);
+    EXPECT_TRUE(fc.perStreamStats);
+    EXPECT_TRUE(fc.arbiter.shed.enabled);
+    EXPECT_EQ(fc.arbiter.shed.defaultDeadline, 250u);
+    EXPECT_DOUBLE_EQ(fc.arbiter.shed.queueHighWatermark, 0.5);
+
+    ASSERT_EQ(fc.tenants.size(), 2u);
+    const fleet::TenantSpec &web = fc.tenants[0];
+    EXPECT_EQ(web.name, "web");
+    EXPECT_EQ(web.count, 4u);
+    EXPECT_EQ(web.streamsPerTenant, 2u);
+    EXPECT_EQ(web.regionStrideWords, 8192u);
+    EXPECT_EQ(web.stream.mode, ArrivalMode::OpenLoop);
+    EXPECT_EQ(web.stream.window, 6u);
+    EXPECT_DOUBLE_EQ(web.stream.requestsPerKilocycle, 33.5);
+    EXPECT_EQ(web.stream.requests, 77u);
+    EXPECT_EQ(web.stream.priority, 3u);
+    EXPECT_EQ(web.stream.queueCapacity, 9u);
+    EXPECT_EQ(web.stream.deadline, 111u);
+    EXPECT_EQ(web.stream.seed, 42u); // top-level seed as template base
+    EXPECT_EQ(web.stream.pattern.regionBase, 64u);
+    EXPECT_EQ(web.stream.pattern.minStride, 2u);
+    EXPECT_EQ(web.stream.pattern.maxStride, 5u);
+    EXPECT_EQ(web.stream.pattern.minLength, 16u);
+    EXPECT_EQ(web.stream.pattern.maxLength, 24u);
+    EXPECT_DOUBLE_EQ(web.stream.pattern.readFraction, 0.25);
+    EXPECT_EQ(web.stream.pattern.mode, VectorCommand::Mode::Indirect);
+
+    // The minimal tenant rides on defaults.
+    const fleet::TenantSpec &batch = fc.tenants[1];
+    EXPECT_EQ(batch.name, "batch");
+    EXPECT_EQ(batch.stream.mode, ArrivalMode::ClosedLoop);
+    EXPECT_EQ(batch.stream.seed, 42u);
+}
+
+TEST(FleetScenario, MinimalDocumentUsesDefaults)
+{
+    const fleet::Scenario sc = fleet::parseScenarioText(
+        "{\"kind\": \"fleet\", \"tenants\": [{}]}");
+    EXPECT_EQ(sc.name, "fleet");
+    EXPECT_EQ(sc.config.system, SystemKind::PvaSdram);
+    EXPECT_EQ(sc.config.arbiter.policy, ArbPolicy::Fifo);
+    EXPECT_EQ(sc.config.shards, 1u);
+    ASSERT_EQ(sc.config.tenants.size(), 1u);
+    EXPECT_EQ(sc.config.tenants[0].count, 1u);
+    EXPECT_EQ(sc.config.tenants[0].streamsPerTenant, 1u);
+}
+
+TEST(FleetScenario, UnknownKeysAreRejectedWithTheirPath)
+{
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenant\": []}", "tenant");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": [{\"streams\": 4}]}",
+        "streams");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": "
+        "[{\"stream\": {\"rps\": 4}}]}",
+        "rps");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": "
+        "[{\"stream\": {\"pattern\": {\"stride\": 4}}}]}",
+        "stride");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"shed\": {\"deadlines\": 5}, "
+        "\"tenants\": [{}]}",
+        "deadlines");
+}
+
+TEST(FleetScenario, WrongKindsAndTypesAreRejected)
+{
+    expectScenarioError("[]", "object");
+    expectScenarioError("{\"tenants\": [{}]}", "kind");
+    expectScenarioError(
+        "{\"kind\": \"traffic\", \"tenants\": [{}]}", "kind");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": {}}", "tenants");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": []}", "tenants");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"shards\": 0, \"tenants\": [{}]}",
+        "shards");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"shards\": -2, \"tenants\": [{}]}",
+        "shards");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"system\": \"vax\", "
+        "\"tenants\": [{}]}",
+        "vax");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"policy\": \"lifo\", "
+        "\"tenants\": [{}]}",
+        "lifo");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"clocking\": \"warp\", "
+        "\"tenants\": [{}]}",
+        "warp");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": "
+        "[{\"stream\": {\"mode\": \"batch\"}}]}",
+        "mode");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": "
+        "[{\"stream\": {\"pattern\": {\"readFraction\": 1.5}}}]}",
+        "readFraction");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"tenants\": [{\"count\": 0}]}",
+        "count");
+    expectScenarioError("{\"kind\": \"fleet\", \"tenants\"",
+                        "parse failed");
+}
+
+TEST(FleetScenario, ResultLineIsVersionedAndSingleLine)
+{
+    fleet::Scenario sc;
+    sc.name = "smoke \"quoted\"";
+    fleet::FleetResult r;
+    r.cycles = 10;
+    r.shards = 1;
+    std::ostringstream os;
+    fleet::writeScenarioResult(os, sc, r);
+    const std::string line = os.str();
+    EXPECT_EQ(line.find("{\"schemaVersion\": 1, "
+                        "\"tool\": \"pva_loadgen\", "
+                        "\"scenario\": \"smoke \\\"quoted\\\"\", "
+                        "\"fleet\": {"),
+              0u);
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_EQ(line.find('\n'), line.size() - 1); // exactly one line
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * sim/json parser tests: round trips, grammar rejection, and the
+ * hostile inputs a spool-fed daemon actually sees — deep nesting,
+ * exotic escapes, non-finite numbers, and torn (truncated) documents.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+
+using namespace pva;
+
+namespace
+{
+
+json::Value
+parseOk(const std::string &text)
+{
+    json::Value v;
+    std::string error;
+    EXPECT_TRUE(json::parse(text, v, error)) << error << "\n" << text;
+    return v;
+}
+
+void
+expectReject(const std::string &text)
+{
+    json::Value v;
+    std::string error;
+    EXPECT_FALSE(json::parse(text, v, error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+}
+
+} // anonymous namespace
+
+TEST(JsonParser, RoundTripsAllValueKinds)
+{
+    const json::Value v = parseOk(
+        "{\"null\": null, \"t\": true, \"f\": false, "
+        "\"int\": 18446744073709551615, \"neg\": -12, "
+        "\"real\": 2.5e-3, \"str\": \"hi\", "
+        "\"arr\": [1, [2, 3], {\"k\": 4}]}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_TRUE(v.find("null")->isNull());
+    EXPECT_TRUE(v.find("t")->boolean());
+    EXPECT_FALSE(v.find("f")->boolean());
+
+    bool ok = true;
+    // 64-bit integers round trip exactly (numbers keep source text).
+    EXPECT_EQ(v.find("int")->asU64(ok), 18446744073709551615ULL);
+    EXPECT_TRUE(ok);
+    EXPECT_DOUBLE_EQ(v.find("real")->asDouble(ok), 2.5e-3);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(v.find("str")->string(), "hi");
+    ASSERT_TRUE(v.find("arr")->isArray());
+    EXPECT_EQ(v.find("arr")->array().size(), 3u);
+    EXPECT_EQ(v.find("arr")->array()[1].array()[1].asU64(ok), 3u);
+    EXPECT_TRUE(ok);
+
+    // asU64 on a negative or fractional number clears ok.
+    ok = true;
+    v.find("neg")->asU64(ok);
+    EXPECT_FALSE(ok);
+    ok = true;
+    v.find("real")->asU64(ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(JsonParser, EscapeAndParseAreInverses)
+{
+    const std::string nasty =
+        "quote\" backslash\\ slash/ tab\t newline\n cr\r "
+        "bell\x07 nul-adjacent\x01 high\xc3\xa9";
+    const std::string doc =
+        "{\"k\": \"" + json::escape(nasty) + "\"}";
+    const json::Value v = parseOk(doc);
+    EXPECT_EQ(v.find("k")->string(), nasty);
+}
+
+TEST(JsonParser, DecodesStandardAndUnicodeEscapes)
+{
+    const json::Value v = parseOk(
+        "{\"s\": \"a\\u0041\\t\\n\\r\\b\\f\\\\\\/\\\"z\"}");
+    EXPECT_EQ(v.find("s")->string(), "aA\t\n\r\b\f\\/\"z");
+    // Truncated and malformed escapes are rejected, not passed
+    // through.
+    expectReject("{\"s\": \"\\u12\"}");
+    expectReject("{\"s\": \"\\x41\"}");
+    expectReject("{\"s\": \"\\\"}");
+    expectReject("{\"s\": \"dangling");
+}
+
+TEST(JsonParser, RejectsNaNAndInfinity)
+{
+    // The grammar has no non-finite numbers; a stats writer bug that
+    // leaks "nan" must fail the reader loudly.
+    expectReject("{\"v\": NaN}");
+    expectReject("{\"v\": nan}");
+    expectReject("{\"v\": Infinity}");
+    expectReject("{\"v\": -Infinity}");
+    expectReject("{\"v\": inf}");
+    // ...while ordinary extreme-but-finite literals stay fine.
+    const json::Value v = parseOk("{\"v\": 1e308}");
+    bool ok = true;
+    EXPECT_DOUBLE_EQ(v.find("v")->asDouble(ok), 1e308);
+    EXPECT_TRUE(ok);
+}
+
+TEST(JsonParser, NestingDepthIsBoundedNotUnbounded)
+{
+    // Acceptable depth parses...
+    std::string shallow;
+    for (int i = 0; i < 20; ++i)
+        shallow += "[";
+    shallow += "1";
+    for (int i = 0; i < 20; ++i)
+        shallow += "]";
+    parseOk(shallow);
+
+    // ...while adversarial depth is refused instead of overflowing
+    // the recursive-descent stack.
+    std::string deep;
+    for (int i = 0; i < 100000; ++i)
+        deep += "[";
+    deep += "1";
+    for (int i = 0; i < 100000; ++i)
+        deep += "]";
+    expectReject(deep);
+
+    std::string deep_obj;
+    for (int i = 0; i < 100000; ++i)
+        deep_obj += "{\"k\":";
+    deep_obj += "1";
+    for (int i = 0; i < 100000; ++i)
+        deep_obj += "}";
+    expectReject(deep_obj);
+}
+
+TEST(JsonParser, RejectsTornDocuments)
+{
+    // A daemon can observe a scenario file mid-write; every prefix of
+    // a valid document must fail cleanly rather than yield a
+    // half-parsed tree.
+    const std::string whole =
+        "{\"kind\": \"fleet\", \"tenants\": [{\"name\": \"web\", "
+        "\"count\": 3, \"stream\": {\"rate\": 12.5}}]}";
+    parseOk(whole);
+    for (std::size_t cut = 1; cut < whole.size(); ++cut) {
+        json::Value v;
+        std::string error;
+        const bool accepted =
+            json::parse(whole.substr(0, cut), v, error);
+        EXPECT_FALSE(accepted) << "prefix length " << cut;
+    }
+}
+
+TEST(JsonParser, RejectsTrailingGarbageAndBareGrammarViolations)
+{
+    expectReject("");
+    expectReject("   ");
+    expectReject("{} extra");
+    expectReject("[1, 2,]");
+    expectReject("{\"a\": 1,}");
+    expectReject("{\"a\" 1}");
+    expectReject("{a: 1}");
+    expectReject("[01]");
+    expectReject("[+1]");
+    expectReject("[1.]");
+    expectReject("[.5]");
+    expectReject("tru");
+    expectReject("nulll");
+}

@@ -33,7 +33,10 @@
 #include <vector>
 
 #include "core/system_config.hh"
+#include "fleet/daemon.hh"
+#include "fleet/scenario.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 #include "tool_app.hh"
 #include "traffic/traffic_runner.hh"
 
@@ -58,6 +61,10 @@ struct LoadgenOptions
     bool shed = false;           ///< Deadline/overload load shedding
     Cycle deadline = 0;          ///< Queueing-delay budget (cycles)
     double shedWatermark = 0.75; ///< Queue-depth shed fraction
+    /** Explicit-set tracking so flag contradictions (a shed knob with
+     *  shedding off) fail loudly instead of being silently ignored. */
+    bool deadlineSet = false;
+    bool watermarkSet = false;
     bool priorityRamp = false;
     std::string tracePath;
     PatternConfig pattern;
@@ -72,6 +79,19 @@ struct LoadgenOptions
     bool stats = false;
     bool json = false;
     bool csv = false;
+    // Fleet mode (docs/TRAFFIC.md "Fleet-scale traffic").
+    bool fleet = false;
+    unsigned tenants = 4;
+    unsigned streamsPerTenant = 4;
+    unsigned shards = 1;
+    bool perStreamStats = false;
+    std::string scenarioPath;
+    // Daemon mode.
+    bool serve = false;
+    std::string spoolDir;
+    std::string outDir;
+    std::uint64_t pollMs = 200;
+    std::uint64_t maxScenarios = 0;
     SystemConfig config{};
 };
 
@@ -137,12 +157,19 @@ addLoadgenFlags(ToolApp &app, LoadgenOptions &opts)
                });
     app.numOption("--deadline", "N",
                   "queueing-delay budget before a request is shed "
-                  "(cycles; 0 = no deadline)",
-                  [&opts](unsigned long long n) { opts.deadline = n; });
+                  "(cycles; 0 = no deadline; needs --shed on)",
+                  [&opts](unsigned long long n) {
+                      opts.deadline = n;
+                      opts.deadlineSet = true;
+                  });
     app.realOption("--shed-watermark", "F",
                    "queue-depth fraction where overload shedding "
-                   "starts (>= 1 disables; default 0.75)",
-                   [&opts](double d) { opts.shedWatermark = d; });
+                   "starts (>= 1 disables; default 0.75; needs "
+                   "--shed on)",
+                   [&opts](double d) {
+                       opts.shedWatermark = d;
+                       opts.watermarkSet = true;
+                   });
     app.flag("--priority-ramp",
              "give stream i priority i (N-1 most urgent)",
              [&opts] { opts.priorityRamp = true; });
@@ -190,6 +217,87 @@ addLoadgenFlags(ToolApp &app, LoadgenOptions &opts)
                   });
     app.flag("--csv", "emit the run as a load-curve CSV row",
              [&opts] { opts.csv = true; });
+
+    // Fleet and daemon modes (docs/TRAFFIC.md "Fleet-scale traffic").
+    app.flag("--fleet",
+             "run a sharded tenant fleet under hierarchical "
+             "arbitration instead of a single flat run",
+             [&opts] { opts.fleet = true; });
+    app.numOption("--tenants", "N", "tenants in the fleet",
+                  [&opts](unsigned long long n) { opts.tenants = n; });
+    app.numOption("--streams-per-tenant", "N",
+                  "request streams per tenant",
+                  [&opts](unsigned long long n) {
+                      opts.streamsPerTenant = n;
+                  });
+    app.numOption("--shards", "N",
+                  "memory-system shards the fleet is partitioned "
+                  "across (results are identical at any --jobs)",
+                  [&opts](unsigned long long n) { opts.shards = n; });
+    app.flag("--per-stream-stats",
+             "keep per-stream counters in fleet mode (memory-heavy)",
+             [&opts] { opts.perStreamStats = true; });
+    app.option("--scenario", "FILE",
+               "run one fleet scenario JSON file and print its "
+               "versioned result line",
+               [&opts](const std::string &v) { opts.scenarioPath = v; });
+    app.flag("--serve",
+             "daemon mode: poll --spool for scenario files, stream "
+             "result lines, drain gracefully on SIGTERM",
+             [&opts] { opts.serve = true; });
+    app.option("--spool", "DIR", "scenario spool directory (--serve)",
+               [&opts](const std::string &v) { opts.spoolDir = v; });
+    app.option("--out-dir", "DIR",
+               "also write per-scenario result files here (--serve)",
+               [&opts](const std::string &v) { opts.outDir = v; });
+    app.numOption("--poll-ms", "N",
+                  "spool poll interval in milliseconds (--serve)",
+                  [&opts](unsigned long long n) { opts.pollMs = n; });
+    app.numOption("--max-scenarios", "N",
+                  "exit after N scenarios (--serve; 0 = run until "
+                  "signalled)",
+                  [&opts](unsigned long long n) {
+                      opts.maxScenarios = n;
+                  });
+}
+
+/**
+ * Reject contradictions instead of silently ignoring a knob: a shed
+ * budget or watermark the user explicitly set does nothing while
+ * shedding is off, which is exactly the kind of quiet misconfiguration
+ * a capacity-planning run cannot afford.
+ */
+void
+validateOptions(const LoadgenOptions &opts)
+{
+    if (!opts.shed && (opts.deadlineSet || opts.watermarkSet)) {
+        throw SimError(
+            SimErrorKind::Config, "loadgen", kNeverCycle,
+            csprintf("%s has no effect while shedding is off; add "
+                     "--shed on or drop the flag",
+                     opts.deadlineSet ? "--deadline"
+                                      : "--shed-watermark"));
+    }
+    if (opts.serve && opts.spoolDir.empty()) {
+        throw SimError(SimErrorKind::Config, "loadgen", kNeverCycle,
+                       "--serve requires --spool DIR");
+    }
+    if (!opts.serve &&
+        (!opts.spoolDir.empty() || !opts.outDir.empty())) {
+        throw SimError(SimErrorKind::Config, "loadgen", kNeverCycle,
+                       "--spool/--out-dir only make sense with "
+                       "--serve");
+    }
+    if (opts.fleet && opts.loadSweep) {
+        throw SimError(SimErrorKind::Config, "loadgen", kNeverCycle,
+                       "--fleet and --load-sweep are separate modes; "
+                       "pick one");
+    }
+    if (!opts.tracePath.empty() && opts.fleet) {
+        throw SimError(SimErrorKind::Config, "loadgen", kNeverCycle,
+                       "--trace replay is not available in fleet "
+                       "mode");
+    }
 }
 
 TrafficConfig
@@ -355,6 +463,147 @@ runOnce(const ToolApp &app, const LoadgenOptions &opts)
     return 0;
 }
 
+fleet::FleetConfig
+fleetConfigFor(const LoadgenOptions &opts)
+{
+    fleet::FleetConfig fc;
+    fc.system = kindFor(opts.system);
+    fc.config = opts.config;
+    if (!parseArbPolicy(opts.policy, fc.arbiter.policy))
+        fatal("unknown policy '%s' (try: fifo rr priority)",
+              opts.policy.c_str());
+    fc.arbiter.agingThreshold = opts.aging;
+    fc.arbiter.shed.enabled = opts.shed;
+    fc.arbiter.shed.defaultDeadline = opts.deadline;
+    fc.arbiter.shed.queueHighWatermark = opts.shedWatermark;
+    fc.limits.maxCycles = opts.maxCycles;
+    fc.limits.timeoutMillis = opts.pointTimeout;
+    fc.shards = opts.shards;
+    fc.jobs = opts.jobs;
+    fc.retries = opts.retries;
+    fc.perStreamStats = opts.perStreamStats;
+
+    fleet::TenantSpec spec;
+    spec.count = opts.tenants;
+    spec.streamsPerTenant = opts.streamsPerTenant;
+    spec.stream.window = opts.window;
+    spec.stream.requestsPerKilocycle = opts.rate;
+    spec.stream.requests = opts.requests;
+    spec.stream.queueCapacity = opts.queueCap;
+    spec.stream.seed = opts.seed;
+    spec.stream.pattern = opts.pattern;
+    if (opts.mode == "closed")
+        spec.stream.mode = ArrivalMode::ClosedLoop;
+    else if (opts.mode == "open")
+        spec.stream.mode = ArrivalMode::OpenLoop;
+    else
+        fatal("unknown mode '%s' (try: closed open)",
+              opts.mode.c_str());
+    // Disjoint per-stream regions, same policy as the flat path.
+    spec.regionStrideWords = opts.pattern.regionWords;
+    fc.tenants.push_back(std::move(spec));
+    return fc;
+}
+
+int
+runFleetOnce(const ToolApp &app, const LoadgenOptions &opts)
+{
+    const fleet::FleetConfig fc = fleetConfigFor(opts);
+    const fleet::FleetResult r = fleet::runFleet(fc);
+
+    if (opts.json) {
+        JsonEnvelope env(
+            std::cout, app, opts.config,
+            {{"system", jsonQuote(opts.system)},
+             {"policy", jsonQuote(opts.policy)},
+             {"tenants", std::to_string(opts.tenants)},
+             {"streamsPerTenant",
+              std::to_string(opts.streamsPerTenant)},
+             {"shards", std::to_string(fc.shards)}});
+        r.dumpJson(env.section("fleet"));
+        env.traceSection(app);
+        return 0;
+    }
+
+    std::printf("fleet system=%s policy=%s tenants=%llu streams=%llu "
+                "shards=%u\n",
+                systemShortName(fc.system),
+                arbPolicyName(fc.arbiter.policy),
+                static_cast<unsigned long long>(r.tenants),
+                static_cast<unsigned long long>(r.streams), r.shards);
+    std::printf("  %llu requests (%llu words) in %llu cycles "
+                "(makespan), %llu grants\n",
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.words),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.grants));
+    std::printf("  throughput %.3f req/kcycle, %.3f words/cycle, "
+                "mean in-flight %.2f\n",
+                r.requestsPerKilocycle, r.wordsPerCycle,
+                r.meanInFlight);
+    if (r.shed > 0) {
+        std::printf("  shed %llu requests (%.1f%% of consumed work)\n",
+                    static_cast<unsigned long long>(r.shed),
+                    100.0 * r.shedRate);
+    }
+    auto line = [](const char *name, const LatencySummary &s) {
+        std::printf("  %-8s mean %8.1f  p50 %6llu  p95 %6llu  "
+                    "p99 %6llu  p999 %6llu  max %6llu\n",
+                    name, s.mean,
+                    static_cast<unsigned long long>(s.p50),
+                    static_cast<unsigned long long>(s.p95),
+                    static_cast<unsigned long long>(s.p99),
+                    static_cast<unsigned long long>(s.p999),
+                    static_cast<unsigned long long>(s.max));
+    };
+    line("queue", r.queueDelay);
+    line("service", r.serviceLatency);
+    line("total", r.totalLatency);
+    if (opts.stats) {
+        for (const fleet::TenantResult &t : r.tenantResults) {
+            std::printf("  %s (shard %u): %llu arrivals, %llu done, "
+                        "deferrals %llu, shed %llu, queue peak %llu, "
+                        "total p99 %llu\n",
+                        t.name.c_str(), t.shard,
+                        static_cast<unsigned long long>(t.arrivals),
+                        static_cast<unsigned long long>(t.completed),
+                        static_cast<unsigned long long>(t.deferrals),
+                        static_cast<unsigned long long>(
+                            t.shedDeadline + t.shedOverload),
+                        static_cast<unsigned long long>(t.queuePeak),
+                        static_cast<unsigned long long>(
+                            t.totalLatency.p99));
+        }
+    }
+    return 0;
+}
+
+int
+runScenario(const LoadgenOptions &opts)
+{
+    fleet::Scenario scenario =
+        fleet::loadScenarioFile(opts.scenarioPath);
+    scenario.config.jobs = opts.jobs;
+    scenario.config.retries = opts.retries;
+    const fleet::FleetResult result = fleet::runFleet(scenario.config);
+    fleet::writeScenarioResult(std::cout, scenario, result);
+    return 0;
+}
+
+int
+runServe(const LoadgenOptions &opts)
+{
+    fleet::DaemonConfig dc;
+    dc.spoolDir = opts.spoolDir;
+    dc.outDir = opts.outDir;
+    dc.pollMillis = opts.pollMs;
+    dc.maxScenarios = opts.maxScenarios;
+    dc.jobs = opts.jobs;
+    dc.retries = opts.retries;
+    fleet::runDaemon(dc, std::cout);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -369,6 +618,13 @@ main(int argc, char **argv)
     app.addTraceFlags();
     app.parse(argc, argv);
     return app.run([&] {
+        validateOptions(opts);
+        if (opts.serve)
+            return runServe(opts);
+        if (!opts.scenarioPath.empty())
+            return runScenario(opts);
+        if (opts.fleet)
+            return runFleetOnce(app, opts);
         return opts.loadSweep ? runSweep(app, opts)
                               : runOnce(app, opts);
     });
