@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Backend bandwidth comparison (docs/DEVICE.md): the legacy part vs
+ * the SALP subarray device vs deferred refresh, on scenarios built to
+ * stress exactly what each backend changes.
+ *
+ *  - subarrayRotation: a 2^26-word stride rotates through the four
+ *    subarray groups of one internal bank, so every access lands on a
+ *    closed row of the legacy part while SALP keeps all four rows
+ *    open — the conflict-heavy case of EXPERIMENTS.md.
+ *  - rowPingPong: two copy streams on rows 0 and 2048 of the same
+ *    internal bank; every read/write command pair forces a legacy row
+ *    cycle, SALP holds both rows open.
+ *  - refreshPressure: a saturated copy under tREFI=781 auto-refresh.
+ *    Deferral moves the refresh blackouts, it does not remove them,
+ *    so on a saturated stream this is a neutrality check (the win of
+ *    deferred refresh is request latency around the boundary, not
+ *    streaming bandwidth — see docs/DEVICE.md).
+ *
+ * Usage: bench_backend [--out FILE]
+ *
+ * Prints a summary and writes the JSON record (the archived
+ * BENCH_BACKEND.json format, schemaVersion 1) to FILE when --out is
+ * given. Exits nonzero if SALP loses its structural win on the
+ * rotation scenario — the same bar the unit test holds.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kernels/sweep.hh"
+
+using namespace pva;
+
+namespace
+{
+
+struct Scenario
+{
+    const char *name;
+    KernelId kernel;
+    WorkloadConfig workload;
+    SystemConfig base;      ///< Shared knobs (timing, checker)
+    MemBackend contender;   ///< Backend compared against Legacy
+    Cycle legacyCycles = 0;
+    Cycle contenderCycles = 0;
+
+    double gainPct() const
+    {
+        return legacyCycles == 0
+                   ? 0.0
+                   : 100.0 *
+                         (1.0 - static_cast<double>(contenderCycles) /
+                                    static_cast<double>(legacyCycles));
+    }
+};
+
+Cycle
+runBackend(const Scenario &s, MemBackend backend)
+{
+    SystemConfig cfg = s.base;
+    cfg.backend = backend;
+    auto sys = makeSystem(SystemKind::PvaSdram, cfg);
+    RunResult r = runKernelOn(*sys, s.kernel, s.workload);
+    if (r.mismatches != 0) {
+        std::fprintf(stderr, "FATAL: %s mismatched on backend %s\n",
+                     s.name, backendName(backend));
+        std::exit(1);
+    }
+    return r.cycles;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+    std::vector<Scenario> scenarios;
+    {
+        Scenario s{};
+        s.name = "subarrayRotation";
+        s.kernel = KernelId::Scale;
+        s.workload.stride = 1u << 26;
+        s.workload.elements = 2048;
+        s.workload.streamBases = {0};
+        s.base.timingCheck = true;
+        s.contender = MemBackend::Salp;
+        scenarios.push_back(s);
+    }
+    {
+        Scenario s{};
+        s.name = "rowPingPong";
+        s.kernel = KernelId::Copy;
+        s.workload.stride = 16;
+        s.workload.elements = 2048;
+        s.workload.streamBases = {0, 1ull << 26};
+        s.base.timingCheck = true;
+        s.contender = MemBackend::Salp;
+        scenarios.push_back(s);
+    }
+    {
+        Scenario s{};
+        s.name = "refreshPressure";
+        s.kernel = KernelId::Copy;
+        s.workload.stride = 4;
+        s.workload.elements = 8192;
+        s.workload.streamBases = {0, 1 << 20};
+        s.base.timing.tREFI = 781;
+        s.base.timingCheck = true;
+        s.contender = MemBackend::DeferredRefresh;
+        scenarios.push_back(s);
+    }
+
+    std::printf("%-18s %-9s %10s %10s %8s\n", "scenario", "vs",
+                "legacy", "backend", "gain");
+    for (Scenario &s : scenarios) {
+        s.legacyCycles = runBackend(s, MemBackend::Legacy);
+        s.contenderCycles = runBackend(s, s.contender);
+        std::printf("%-18s %-9s %10llu %10llu %7.1f%%\n", s.name,
+                    backendName(s.contender),
+                    static_cast<unsigned long long>(s.legacyCycles),
+                    static_cast<unsigned long long>(s.contenderCycles),
+                    s.gainPct());
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << "{\n  \"schemaVersion\": 1,\n"
+            << "  \"tool\": \"bench_backend\",\n"
+            << "  \"scenarios\": {\n";
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            const Scenario &s = scenarios[i];
+            out << "    \"" << s.name << "\": {\n"
+                << "      \"backend\": \"" << backendName(s.contender)
+                << "\",\n"
+                << "      \"legacyCycles\": " << s.legacyCycles
+                << ",\n"
+                << "      \"backendCycles\": " << s.contenderCycles
+                << ",\n"
+                << "      \"gainPct\": " << s.gainPct() << "\n"
+                << "    }" << (i + 1 < scenarios.size() ? "," : "")
+                << "\n";
+        }
+        out << "  }\n}\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    // The acceptance bar: SALP's win on the rotation scenario is
+    // structural (open rows vs a forced row cycle per access) and
+    // must not erode.
+    if (scenarios[0].gainPct() < 20.0) {
+        std::fprintf(stderr,
+                     "FAIL: subarrayRotation SALP gain %.1f%% < 20%%\n",
+                     scenarios[0].gainPct());
+        return 1;
+    }
+    return 0;
+}

@@ -12,9 +12,10 @@ BankController::BankController(std::string name, unsigned bank,
                                BankDevice &dev_)
     : Component(std::move(name)), geo(geo_), cfg(config), dev(dev_),
       sdram(dynamic_cast<SdramDevice *>(&dev_)),
+      bpol(dev_.backendPolicy()),
       pla(geo_.bankBits(), config.plaVariant),
       staging(config.transactions),
-      autoPrePredict(geo_.internalBanks(), false)
+      autoPrePredict(bpol.slotCount(geo_.internalBanks()), false)
 {
     if (bank >= geo.banks()) {
         throw SimError(SimErrorKind::Config, this->name(), kNeverCycle,
@@ -359,53 +360,56 @@ BankController::dequeueIntoVc(Cycle now)
 }
 
 bool
-BankController::otherVcHitsOpenRow(unsigned ibank,
+BankController::otherVcHitsOpenRow(const DeviceCoords &target,
                                    const VectorContext *except) const
 {
-    if (!devAnyRowOpen(ibank))
+    if (!devSlotRowOpen(target))
         return false;
-    std::uint32_t open = devOpenRow(ibank);
+    std::uint32_t open = devOpenRowAt(target);
+    unsigned tslot = slotOf(target);
     for (std::size_t i = 0; i < vcs.size(); ++i) {
         const VectorContext &vc = vcs[i];
         if (&vc == except || vc.done())
             continue;
         DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
-        if (c.internalBank == ibank && c.row == open)
+        if (slotOf(c) == tslot && c.row == open)
             return true;
     }
     return false;
 }
 
 bool
-BankController::olderVcHitsOpenRow(unsigned ibank,
+BankController::olderVcHitsOpenRow(const DeviceCoords &target,
                                    std::size_t vc_index) const
 {
-    if (!devAnyRowOpen(ibank))
+    if (!devSlotRowOpen(target))
         return false;
-    std::uint32_t open = devOpenRow(ibank);
+    std::uint32_t open = devOpenRowAt(target);
+    unsigned tslot = slotOf(target);
     for (std::size_t i = 0; i < vc_index && i < vcs.size(); ++i) {
         const VectorContext &vc = vcs[i];
         if (vc.done())
             continue;
         DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
-        if (c.internalBank == ibank && c.row == open)
+        if (slotOf(c) == tslot && c.row == open)
             return true;
     }
     return false;
 }
 
 bool
-BankController::anyVcMissesOpenRow(unsigned ibank) const
+BankController::anyVcMissesOpenRow(const DeviceCoords &target) const
 {
-    if (!devAnyRowOpen(ibank))
+    if (!devSlotRowOpen(target))
         return false;
-    std::uint32_t open = devOpenRow(ibank);
+    std::uint32_t open = devOpenRowAt(target);
+    unsigned tslot = slotOf(target);
     for (std::size_t i = 0; i < vcs.size(); ++i) {
         const VectorContext &vc = vcs[i];
         if (vc.done())
             continue;
         DeviceCoords c = geo.decompose(vc.addrAt(vc.issued));
-        if (c.internalBank == ibank && c.row != open)
+        if (slotOf(c) == tslot && c.row != open)
             return true;
     }
     return false;
@@ -428,28 +432,28 @@ BankController::tryActivatePrecharge(Cycle now)
         if (devIsRowOpen(c.internalBank, c.row))
             continue; // ready, nothing to open
 
-        if (!devAnyRowOpen(c.internalBank)) {
+        if (!devSlotRowOpen(c)) {
             DeviceOp op;
             op.kind = DeviceOp::Kind::Activate;
             op.addr = vc.addrAt(vc.issued);
             if (devCanIssue(op, now)) {
                 if (!vc.firstOpDone) {
                     // Autoprecharge predictor: a new request whose first
-                    // row differs from the row last open in this
-                    // internal bank predicts "close after use".
-                    autoPrePredict[c.internalBank] =
-                        devLastRow(c.internalBank) != c.row;
+                    // row differs from the row last open in this row
+                    // slot predicts "close after use".
+                    autoPrePredict[slotOf(c)] = devLastRowAt(c) != c.row;
                     vc.firstOpDone = true;
                 }
                 devIssue(op, now);
                 return true;
             }
-        } else if (!olderVcHitsOpenRow(c.internalBank, vi)) {
+        } else if (!olderVcHitsOpenRow(c, vi)) {
             // bank_hit_predict not asserted by any older VC: safe to
             // close the row.
             DeviceOp op;
             op.kind = DeviceOp::Kind::Precharge;
             op.internalBank = c.internalBank;
+            op.subarray = bpol.subarrayOf(c.row);
             if (devCanIssue(op, now)) {
                 devIssue(op, now);
                 return true;
@@ -469,16 +473,16 @@ BankController::decideAutoPrecharge(const VectorContext &vc,
         return false;
     bool last_element = vc.issued + 1 >= vc.count();
     if (last_element) {
-        if (otherVcHitsOpenRow(c.internalBank, &vc))
+        if (otherVcHitsOpenRow(c, &vc))
             return false; // bank_morehit_predict: leave open
-        if (anyVcMissesOpenRow(c.internalBank))
+        if (anyVcMissesOpenRow(c))
             return true; // bank_close_predict: close it
-        return autoPrePredict[c.internalBank];
+        return autoPrePredict[slotOf(c)];
     }
     DeviceCoords nc = geo.decompose(vc.addrAt(vc.issued + 1));
     if (nc.internalBank == c.internalBank && nc.row == c.row)
         return false; // our own next access hits the same row
-    if (otherVcHitsOpenRow(c.internalBank, &vc))
+    if (otherVcHitsOpenRow(c, &vc))
         return false;
     return true;
 }
@@ -518,8 +522,7 @@ BankController::tryReadWrite(Cycle now)
 
             if (devCanIssue(op, now)) {
                 if (!vc.firstOpDone) {
-                    autoPrePredict[c.internalBank] =
-                        devLastRow(c.internalBank) != c.row;
+                    autoPrePredict[slotOf(c)] = devLastRowAt(c) != c.row;
                     vc.firstOpDone = true;
                 }
                 devIssue(op, now);

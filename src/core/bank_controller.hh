@@ -307,23 +307,33 @@ class BankController final : public Component
     /** Is any queued or scheduled work still tagged @p txn? */
     bool hasWorkFor(std::uint8_t txn) const;
 
+    /** Row-slot index of device coordinates @p c under the device's
+     *  backend (the internal bank on legacy, (ibank, subarray) on
+     *  SALP) — the granularity all row predicates work at. */
+    unsigned
+    slotOf(const DeviceCoords &c) const
+    {
+        return bpol.slotOf(c.internalBank, c.row);
+    }
+
     /** Does any VC other than @p except have its next element on the
-     *  open row of internal bank @p ibank? (bank_hit/morehit_predict) */
-    bool otherVcHitsOpenRow(unsigned ibank, const VectorContext *except)
-        const;
+     *  open row of @p target's row slot? (bank_hit/morehit_predict) */
+    bool otherVcHitsOpenRow(const DeviceCoords &target,
+                            const VectorContext *except) const;
 
     /**
      * Does any VC older than vcs[@p vc_index] have its next element on
-     * the open row of internal bank @p ibank? Used to gate precharges:
+     * the open row of @p target's row slot? Used to gate precharges:
      * blocking on *younger* VCs' hit predictions would let a
      * polarity-stalled young VC deadlock an old one (the daisy chain
      * gives the oldest pending operation priority).
      */
-    bool olderVcHitsOpenRow(unsigned ibank, std::size_t vc_index) const;
+    bool olderVcHitsOpenRow(const DeviceCoords &target,
+                            std::size_t vc_index) const;
 
-    /** Does any VC's next element map to @p ibank with a row different
-     *  from its open row? (bank_close_predict) */
-    bool anyVcMissesOpenRow(unsigned ibank) const;
+    /** Does any VC's next element map to @p target's row slot with a
+     *  row different from its open row? (bank_close_predict) */
+    bool anyVcMissesOpenRow(const DeviceCoords &target) const;
 
     /** ManageRow(): should the read/write for @p vc at @p c auto-
      *  precharge its row? */
@@ -337,28 +347,33 @@ class BankController final : public Component
      * virtual fallback serves the SRAM comparison system.
      * @{ */
     bool
-    devAnyRowOpen(unsigned ibank) const
-    {
-        return sdram ? sdram->anyRowOpen(ibank) : dev.anyRowOpen(ibank);
-    }
-
-    bool
     devIsRowOpen(unsigned ibank, std::uint32_t row) const
     {
         return sdram ? sdram->isRowOpen(ibank, row)
                      : dev.isRowOpen(ibank, row);
     }
 
-    std::uint32_t
-    devOpenRow(unsigned ibank) const
+    /** Does the row slot holding @p c have some row open? */
+    bool
+    devSlotRowOpen(const DeviceCoords &c) const
     {
-        return sdram ? sdram->openRow(ibank) : dev.openRow(ibank);
+        return sdram ? sdram->slotRowOpen(c.internalBank, c.row)
+                     : dev.slotRowOpen(c.internalBank, c.row);
+    }
+
+    /** The row open in @p c's slot (valid iff devSlotRowOpen()). */
+    std::uint32_t
+    devOpenRowAt(const DeviceCoords &c) const
+    {
+        return sdram ? sdram->openRowAt(c.internalBank, c.row)
+                     : dev.openRowAt(c.internalBank, c.row);
     }
 
     std::uint32_t
-    devLastRow(unsigned ibank) const
+    devLastRowAt(const DeviceCoords &c) const
     {
-        return sdram ? sdram->lastRow(ibank) : dev.lastRow(ibank);
+        return sdram ? sdram->lastRowAt(c.internalBank, c.row)
+                     : dev.lastRowAt(c.internalBank, c.row);
     }
 
     bool
@@ -397,13 +412,14 @@ class BankController final : public Component
     BcConfig cfg;
     BankDevice &dev;
     SdramDevice *sdram = nullptr; ///< Concrete downcast of dev (or null)
+    BackendPolicy bpol;           ///< Copy of dev's resolved policy
     FirstHitPla pla;
     unsigned bankIndex = 0;
 
     RingDeque<Request> fifo;      ///< RQF (oldest at front)
     RingDeque<VectorContext> vcs; ///< Oldest at front (highest prio)
     std::vector<Staging> staging; ///< Indexed by transaction id
-    std::vector<bool> autoPrePredict; ///< Per internal bank (section 5.2.2)
+    std::vector<bool> autoPrePredict; ///< Per row slot (section 5.2.2)
     std::unique_ptr<FaultInjector> injector;
 
     /** Scratch element lists for observeVecCommand's explicit-mode

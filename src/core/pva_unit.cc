@@ -15,10 +15,11 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
       bcScanFrom(config.bc.transactions, 0)
 {
     const unsigned banks = cfg.geometry.banks();
+    const BackendPolicy pol = cfg.backendPolicy();
     if (cfg.timingCheck) {
         checker = std::make_unique<TimingChecker>(
             cfg.geometry, cfg.timing, banks, cfg.bc.transactions,
-            cfg.bc.lineWords);
+            cfg.bc.lineWords, pol);
     }
     devices.reserve(banks);
     bcs.reserve(banks);
@@ -29,7 +30,7 @@ PvaUnit::PvaUnit(std::string name, const PvaConfig &config)
                 dev_name, b, cfg.geometry, backing));
         } else {
             auto dev = std::make_unique<SdramDevice>(
-                dev_name, b, cfg.geometry, cfg.timing, backing);
+                dev_name, b, cfg.geometry, cfg.timing, backing, pol);
             if (cfg.faults.enabled())
                 dev->enableFaults(cfg.faults, b * 2);
             devices.push_back(std::move(dev));

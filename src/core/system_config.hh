@@ -43,6 +43,20 @@ struct PvaConfig
     FaultPlan faults{};       ///< Fault injection (disabled by default)
     /** Batched bank-controller ticking (see SystemConfig::batchTicking). */
     bool batchTicking = true;
+    /** Device backend (see SystemConfig::backend; SRAM ignores it). */
+    MemBackend backend = MemBackend::Legacy;
+    unsigned salpSubarrays = 4;
+    unsigned refreshDeferWindow = 0;
+
+    /** The resolved backend policy (validated; SimError(Config) on a
+     *  bad combination). */
+    BackendPolicy
+    backendPolicy() const
+    {
+        return resolveBackendPolicy(backend, geometry.rowBits(),
+                                    timing.tREFI, timing.tRFC,
+                                    salpSubarrays, refreshDeferWindow);
+    }
 };
 
 /**
@@ -82,6 +96,20 @@ struct SystemConfig
      * reference behaviour for differential testing.
      */
     bool batchTicking = true;
+    /**
+     * Memory-device backend (docs/DEVICE.md). Legacy is the paper's
+     * part and the default; Salp gives every internal bank
+     * salpSubarrays independent row buffers (Kim et al.); Deferred-
+     * Refresh moves tREFI boundaries within refreshDeferWindow cycles
+     * around in-flight work (Chang et al.). SDRAM systems only — the
+     * SRAM comparison system and the serial baselines' analytic
+     * timing ignore it.
+     */
+    MemBackend backend = MemBackend::Legacy;
+    /** Row-buffer subarrays per internal bank (Salp; power of two). */
+    unsigned salpSubarrays = 4;
+    /** Max cycles a refresh may move (DeferredRefresh; 0 = tREFI/2). */
+    unsigned refreshDeferWindow = 0;
 
     /** The PVA-specific projection of this configuration. */
     PvaConfig
@@ -95,6 +123,9 @@ struct SystemConfig
         p.timingCheck = timingCheck;
         p.faults = faults;
         p.batchTicking = batchTicking;
+        p.backend = backend;
+        p.salpSubarrays = salpSubarrays;
+        p.refreshDeferWindow = refreshDeferWindow;
         return p;
     }
 
@@ -154,6 +185,11 @@ struct SystemConfig
         checkRate(faults.bcStallRate, "bcStallRate");
         checkRate(faults.dropTransferRate, "dropTransferRate");
         checkRate(faults.corruptFirstHitRate, "corruptFirstHitRate");
+        // Backend knobs: resolving throws SimError(Config) naming the
+        // offending field on any unsupportable combination.
+        (void)resolveBackendPolicy(backend, geometry.rowBits(),
+                                   timing.tREFI, timing.tRFC,
+                                   salpSubarrays, refreshDeferWindow);
     }
 };
 

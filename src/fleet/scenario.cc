@@ -200,8 +200,9 @@ parseScenario(const json::Value &doc)
     requireObject(doc, "scenario");
     checkKeys(doc, "scenario",
               {"kind", "name", "system", "policy", "aging", "clocking",
-               "check", "shards", "seed", "maxCycles", "perStreamStats",
-               "shed", "tenants"});
+               "backend", "subarrays", "refreshWindow", "check",
+               "shards", "seed", "maxCycles", "perStreamStats", "shed",
+               "tenants"});
 
     const std::string kind = stringField(doc, "kind", "scenario", "");
     if (kind != "fleet") {
@@ -242,6 +243,19 @@ parseScenario(const json::Value &doc)
                       "(try: event exhaustive)",
                       clocking.c_str()));
     }
+    const std::string backend =
+        stringField(doc, "backend", "scenario",
+                    backendName(fc.config.backend));
+    if (!parseMemBackend(backend, fc.config.backend)) {
+        fail(csprintf("unknown scenario.backend '%s' "
+                      "(try: legacy salp deferred)",
+                      backend.c_str()));
+    }
+    fc.config.salpSubarrays = static_cast<unsigned>(u64Field(
+        doc, "subarrays", "scenario", fc.config.salpSubarrays));
+    fc.config.refreshDeferWindow = static_cast<unsigned>(u64Field(
+        doc, "refreshWindow", "scenario",
+        fc.config.refreshDeferWindow));
     fc.config.timingCheck =
         boolField(doc, "check", "scenario", fc.config.timingCheck);
 

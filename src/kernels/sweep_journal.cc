@@ -217,6 +217,7 @@ fingerprintConfig(const SystemConfig &config)
         "timing:%u,%u,%u,%u,%u,%u,%u,%u;"
         "bc:%u,%u,%u,%u,%u,%d,%d,%d;"
         "sys:%u,%d,%d,%d,%d;"
+        "backend:%d,%u,%u;"
         "faults:%llu,%.17g,%.17g,%.17g,%.17g",
         g.banks(), g.interleave(), g.colBits(), ibankBitsOf(g),
         g.rowBits(), config.timing.tRCD, config.timing.tCL,
@@ -231,6 +232,8 @@ fingerprintConfig(const SystemConfig &config)
         static_cast<int>(config.timingCheck),
         static_cast<int>(config.clocking),
         static_cast<int>(config.batchTicking),
+        static_cast<int>(config.backend), config.salpSubarrays,
+        config.refreshDeferWindow,
         static_cast<unsigned long long>(config.faults.seed),
         config.faults.refreshStallRate, config.faults.bcStallRate,
         config.faults.dropTransferRate,

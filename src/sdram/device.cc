@@ -10,17 +10,20 @@ namespace pva
 
 SdramDevice::SdramDevice(std::string name, unsigned bank_index,
                          const Geometry &geo, const SdramTiming &timing,
-                         SparseMemory &backing)
-    : BankDevice(std::move(name), bank_index, geo, backing), times(timing),
-      accessReady(geo.internalBanks(), 0),
-      prechargeReady(geo.internalBanks(), 0),
-      activateReady(geo.internalBanks(), 0),
-      openRows(geo.internalBanks(), 0),
-      lastOpenedRows(geo.internalBanks(), 0),
-      rowOpen(geo.internalBanks(), 0),
-      everOpened(geo.internalBanks(), 0),
-      freshActivate(geo.internalBanks(), 0)
+                         SparseMemory &backing,
+                         const BackendPolicy &policy)
+    : BankDevice(std::move(name), bank_index, geo, backing), times(timing)
 {
+    pol = policy;
+    const unsigned slots = pol.slotCount(geo.internalBanks());
+    accessReady.assign(slots, 0);
+    prechargeReady.assign(slots, 0);
+    activateReady.assign(slots, 0);
+    openRows.assign(slots, 0);
+    lastOpenedRows.assign(slots, 0);
+    rowOpen.assign(slots, 0);
+    everOpened.assign(slots, 0);
+    freshActivate.assign(slots, 0);
 }
 
 Cycle
@@ -32,7 +35,7 @@ SdramDevice::dataCycleOf(const DeviceOp &op, Cycle now) const
 }
 
 void
-SdramDevice::applyRefresh(Cycle now)
+SdramDevice::applyRefresh(Cycle now, Cycle covered)
 {
     PVA_TRACE_BLOCK(
         // Only a refresh starting from idle opens a span; an overlap
@@ -47,7 +50,7 @@ SdramDevice::applyRefresh(Cycle now)
         activateReady[b] = std::max(activateReady[b], refreshBusyUntil);
     }
     if (checker)
-        checker->onRefresh(bankIndex, now, refreshBusyUntil);
+        checker->onRefresh(bankIndex, now, refreshBusyUntil, covered);
 }
 
 void
@@ -55,10 +58,14 @@ SdramDevice::tickRefresh(Cycle now)
 {
     if (injector && injector->refreshStall()) {
         ++statInjectedRefreshes;
-        applyRefresh(now);
+        applyRefresh(now, 0);
     }
     if (times.tREFI == 0)
         return;
+    if (pol.kind == MemBackend::DeferredRefresh) {
+        tickRefreshDeferred(now);
+        return;
+    }
     // Catch up on every boundary reached so far, in order. The event
     // stepper only skips spans where this bank controller is idle, so
     // a multi-boundary catch-up happens with no row open and no access
@@ -69,7 +76,37 @@ SdramDevice::tickRefresh(Cycle now)
         Cycle boundary = lastRefreshApplied + times.tREFI;
         lastRefreshApplied = boundary;
         ++statRefreshes;
-        applyRefresh(boundary);
+        applyRefresh(boundary, boundary);
+    }
+}
+
+void
+SdramDevice::tickRefreshDeferred(Cycle now)
+{
+    // Push-out: an overdue boundary waits while work is in flight, up
+    // to deferWindow cycles past its due time, then is forced. Applied
+    // in order; stacked overdue refreshes coalesce at the same cycle
+    // (applyRefresh only extends the busy period monotonically), which
+    // bounds the debt at ceil(window / tREFI) + 1 boundaries.
+    Cycle due = lastRefreshApplied + times.tREFI;
+    while (due <= now) {
+        if (now < due + pol.deferWindow && busyForRefresh())
+            return; // defer; later boundaries wait in order too
+        lastRefreshApplied = due;
+        ++statRefreshes;
+        if (now > due)
+            ++statDeferredRefreshes;
+        applyRefresh(now, due);
+        due += times.tREFI;
+    }
+    // Pull-in: while fully idle, take the next boundary early (at most
+    // deferWindow ahead) so future work finds the debt already paid.
+    if (due - now <= pol.deferWindow && refreshBusyUntil <= now &&
+        !busyForRefresh()) {
+        lastRefreshApplied = due;
+        ++statRefreshes;
+        ++statAdvancedRefreshes;
+        applyRefresh(now, due);
     }
 }
 
@@ -105,8 +142,20 @@ SdramDevice::nextTimingEventAfter(Cycle now) const
             consider(base - 1);             // write thresholds
         }
     }
-    if (times.tREFI != 0)
-        consider((now / times.tREFI + 1) * times.tREFI);
+    if (times.tREFI != 0) {
+        if (pol.kind == MemBackend::DeferredRefresh) {
+            // Wake at the pull-in opportunity, the boundary itself and
+            // the forced deadline of the next uncovered boundary; a
+            // busy-device wake at any of them is a harmless no-op tick.
+            Cycle due = lastRefreshApplied + times.tREFI;
+            if (due > pol.deferWindow)
+                consider(due - pol.deferWindow);
+            consider(due);
+            consider(due + pol.deferWindow);
+        } else {
+            consider((now / times.tREFI + 1) * times.tREFI);
+        }
+    }
     return wake;
 }
 
@@ -127,16 +176,17 @@ SdramDevice::canIssue(const DeviceOp &op, Cycle now) const
     switch (op.kind) {
       case DeviceOp::Kind::Activate: {
         DeviceCoords c = geometry.decompose(op.addr);
-        return rowOpen[c.internalBank] == 0 &&
-               now >= activateReady[c.internalBank];
+        const unsigned s = slotIndex(c.internalBank, c.row);
+        return rowOpen[s] == 0 && now >= activateReady[s];
       }
-      case DeviceOp::Kind::Precharge:
-        return rowOpen[op.internalBank] != 0 &&
-               now >= prechargeReady[op.internalBank];
+      case DeviceOp::Kind::Precharge: {
+        const unsigned s = (op.internalBank << pol.subBits) | op.subarray;
+        return rowOpen[s] != 0 && now >= prechargeReady[s];
+      }
       case DeviceOp::Kind::Read:
       case DeviceOp::Kind::Write: {
         DeviceCoords c = geometry.decompose(op.addr);
-        unsigned ib = c.internalBank;
+        const unsigned ib = slotIndex(c.internalBank, c.row);
         if (rowOpen[ib] == 0 || openRows[ib] != c.row ||
             now < accessReady[ib]) {
             return false;
@@ -175,7 +225,7 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
     switch (op.kind) {
       case DeviceOp::Kind::Activate: {
         DeviceCoords c = geometry.decompose(op.addr);
-        unsigned ib = c.internalBank;
+        const unsigned ib = slotIndex(c.internalBank, c.row);
         rowOpen[ib] = 1;
         openRows[ib] = c.row;
         lastOpenedRows[ib] = c.row;
@@ -190,7 +240,7 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
         break;
       }
       case DeviceOp::Kind::Precharge: {
-        unsigned ib = op.internalBank;
+        const unsigned ib = (op.internalBank << pol.subBits) | op.subarray;
         rowOpen[ib] = 0;
         activateReady[ib] = std::max(activateReady[ib], now + times.tRP);
         ++statPrecharges;
@@ -201,7 +251,7 @@ SdramDevice::issue(const DeviceOp &op, Cycle now)
       case DeviceOp::Kind::Read:
       case DeviceOp::Kind::Write: {
         DeviceCoords c = geometry.decompose(op.addr);
-        unsigned ib = c.internalBank;
+        const unsigned ib = slotIndex(c.internalBank, c.row);
         bool is_read = op.kind == DeviceOp::Kind::Read;
         Cycle data = dataCycleOf(op, now);
         PVA_TRACE_BLOCK(
@@ -274,6 +324,8 @@ SdramDevice::registerStats(StatSet &set, const std::string &prefix) const
     set.addScalar(prefix + ".rowHitAccesses", &statRowHitAccesses);
     set.addScalar(prefix + ".refreshes", &statRefreshes);
     set.addScalar(prefix + ".injectedRefreshes", &statInjectedRefreshes);
+    set.addScalar(prefix + ".deferredRefreshes", &statDeferredRefreshes);
+    set.addScalar(prefix + ".advancedRefreshes", &statAdvancedRefreshes);
 }
 
 } // namespace pva

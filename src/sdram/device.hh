@@ -14,14 +14,23 @@
  * command per cycle may be issued (one command bus). Read data appears
  * tCL cycles later and is retrieved with popReady().
  *
- * Hot-path layout (docs/PERFORMANCE.md): the per-internal-bank state
- * lives in struct-of-arrays form — the three restimer deadlines in
+ * Hot-path layout (docs/PERFORMANCE.md): the per-row-slot state lives
+ * in struct-of-arrays form — the three restimer deadlines in
  * contiguous Cycle arrays scanned by nextTimingEventAfter(), the
  * open/row registers in parallel arrays touched by the row predicates
  * the bank-controller scheduler polls every cycle. The row predicates
  * and the idle-tick fast path are defined inline and SdramDevice is
  * final, so a caller holding a concrete SdramDevice* (the bank
  * controller's devirtualized fast path) pays no virtual dispatch.
+ *
+ * Backends (docs/DEVICE.md): a "row slot" is one row buffer with its
+ * own restimers. The legacy backend has one slot per internal bank —
+ * exactly the original model. The SALP backend splits each internal
+ * bank into subarrays with a slot each (shared command bus and data
+ * pins); the deferred-refresh backend keeps legacy slots but moves
+ * tREFI boundaries within a bounded window around in-flight work. All
+ * three are data-driven off a resolved BackendPolicy, so the one
+ * final class keeps the devirtualized dispatch.
  */
 
 #ifndef PVA_SDRAM_DEVICE_HH
@@ -31,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "sdram/backend.hh"
 #include "sdram/geometry.hh"
 #include "sim/component.hh"
 #include "sim/fault.hh"
@@ -74,6 +84,9 @@ struct DeviceOp
     std::uint8_t txn = 0;     ///< Transaction id tag
     std::uint8_t slot = 0;    ///< Word index within the cache line
     unsigned internalBank = 0; ///< For Precharge (no address needed)
+    /** For Precharge on a SALP backend: which subarray of
+     *  @c internalBank to close (always 0 on single-slot backends). */
+    unsigned subarray = 0;
 };
 
 /** A read completion: data valid on the device pins at @c readyAt. */
@@ -113,15 +126,35 @@ class BankDevice : public Component
     /** Is some row open (bank active) in internal bank @p ibank? */
     virtual bool anyRowOpen(unsigned ibank) const = 0;
 
-    /** Is row @p row open in internal bank @p ibank? */
+    /** Is row @p row open (in its row slot of internal bank @p ibank)? */
     virtual bool isRowOpen(unsigned ibank, std::uint32_t row) const = 0;
 
-    /** The row currently open in @p ibank (valid iff anyRowOpen()). */
+    /** The row currently open in @p ibank (valid iff anyRowOpen()).
+     *  On a multi-slot backend: the first open slot's row. */
     virtual std::uint32_t openRow(unsigned ibank) const = 0;
 
     /** Row last opened in @p ibank (valid even after close; for the
      *  autoprecharge predictor's "last row address" input). */
     virtual std::uint32_t lastRow(unsigned ibank) const = 0;
+
+    /** @name Row-slot predicates
+     * The scheduler's view: all three address the row slot that holds
+     * @p row on this backend (the whole internal bank on legacy, its
+     * subarray on SALP). @{ */
+    /** Does the slot holding @p row currently have some row open? */
+    virtual bool slotRowOpen(unsigned ibank, std::uint32_t row) const = 0;
+
+    /** The row open in @p row's slot (valid iff slotRowOpen()). */
+    virtual std::uint32_t openRowAt(unsigned ibank,
+                                    std::uint32_t row) const = 0;
+
+    /** The row last opened in @p row's slot (0xffffffff if never). */
+    virtual std::uint32_t lastRowAt(unsigned ibank,
+                                    std::uint32_t row) const = 0;
+    /** @} */
+
+    /** The resolved backend policy (legacy single-slot by default). */
+    const BackendPolicy &backendPolicy() const { return pol; }
 
     /** Pop a read completion whose data is valid at or before @p now. */
     bool
@@ -164,6 +197,7 @@ class BankDevice : public Component
     const Geometry &geometry;
     SparseMemory &memory;
     TimingChecker *checker = nullptr;
+    BackendPolicy pol{}; ///< Resolved by the concrete device's ctor.
     RingDeque<ReadReturn> pending; ///< Ordered by readyAt.
 };
 
@@ -171,36 +205,79 @@ class BankDevice : public Component
 class SdramDevice final : public BankDevice
 {
   public:
+    /** @p policy must come from resolveBackendPolicy() (the default is
+     *  the legacy single-slot part). */
     SdramDevice(std::string name, unsigned bank_index, const Geometry &geo,
-                const SdramTiming &timing, SparseMemory &backing);
+                const SdramTiming &timing, SparseMemory &backing,
+                const BackendPolicy &policy = BackendPolicy{});
 
     bool canIssue(const DeviceOp &op, Cycle now) const override;
     void issue(const DeviceOp &op, Cycle now) override;
 
+    /** Row-slot index of (@p ibank, @p row) under this backend. */
+    unsigned
+    slotIndex(unsigned ibank, std::uint32_t row) const
+    {
+        return pol.slotOf(ibank, row);
+    }
+
     bool
     anyRowOpen(unsigned ibank) const override
     {
-        return rowOpen[ibank] != 0;
+        const unsigned base = ibank << pol.subBits;
+        for (unsigned s = base; s < base + pol.subarrays(); ++s) {
+            if (rowOpen[s] != 0)
+                return true;
+        }
+        return false;
     }
 
     bool
     isRowOpen(unsigned ibank, std::uint32_t row) const override
     {
-        return rowOpen[ibank] != 0 && openRows[ibank] == row;
+        const unsigned s = slotIndex(ibank, row);
+        return rowOpen[s] != 0 && openRows[s] == row;
     }
 
     std::uint32_t
     openRow(unsigned ibank) const override
     {
-        if (rowOpen[ibank] == 0)
-            throwClosedRowQuery(ibank);
-        return openRows[ibank];
+        const unsigned base = ibank << pol.subBits;
+        for (unsigned s = base; s < base + pol.subarrays(); ++s) {
+            if (rowOpen[s] != 0)
+                return openRows[s];
+        }
+        throwClosedRowQuery(ibank);
     }
 
     std::uint32_t
     lastRow(unsigned ibank) const override
     {
-        return everOpened[ibank] ? lastOpenedRows[ibank] : 0xffffffffu;
+        const unsigned base = ibank << pol.subBits;
+        for (unsigned s = base; s < base + pol.subarrays(); ++s) {
+            if (everOpened[s])
+                return lastOpenedRows[s];
+        }
+        return 0xffffffffu;
+    }
+
+    bool
+    slotRowOpen(unsigned ibank, std::uint32_t row) const override
+    {
+        return rowOpen[slotIndex(ibank, row)] != 0;
+    }
+
+    std::uint32_t
+    openRowAt(unsigned ibank, std::uint32_t row) const override
+    {
+        return openRows[slotIndex(ibank, row)];
+    }
+
+    std::uint32_t
+    lastRowAt(unsigned ibank, std::uint32_t row) const override
+    {
+        const unsigned s = slotIndex(ibank, row);
+        return everOpened[s] ? lastOpenedRows[s] : 0xffffffffu;
     }
 
     /**
@@ -233,6 +310,8 @@ class SdramDevice final : public BankDevice
     Scalar statRowHitAccesses; ///< Read/write without a fresh activate
     Scalar statRefreshes;
     Scalar statInjectedRefreshes; ///< Fault-injected refresh stalls
+    Scalar statDeferredRefreshes; ///< Applied after their boundary
+    Scalar statAdvancedRefreshes; ///< Pulled in before their boundary
     /** @} */
 
     void registerStats(StatSet &set, const std::string &prefix) const;
@@ -241,21 +320,45 @@ class SdramDevice final : public BankDevice
     /** When would @p op's word occupy the device data pins? */
     Cycle dataCycleOf(const DeviceOp &op, Cycle now) const;
 
-    /** Close every internal bank and hold the device busy for tRFC. */
-    void applyRefresh(Cycle now);
+    /** Close every row slot and hold the device busy for tRFC.
+     *  @p covered names the tREFI boundary this refresh satisfies
+     *  (0 for an injected refresh that satisfies none). */
+    void applyRefresh(Cycle now, Cycle covered);
 
     /** Refresh/fault slow path behind the inline tick() early-out. */
     void tickRefresh(Cycle now);
+
+    /** The DeferredRefresh discipline: pull-in/push-out within the
+     *  policy window, forced at boundary + window. */
+    void tickRefreshDeferred(Cycle now);
+
+    /** Would a refresh right now collide with in-flight work (open
+     *  rows, read data still maturing)? Deferral predicate; depends
+     *  only on device state, never on the clock, so skipped spans
+     *  cannot change its answer (event-clocking exactness). */
+    bool
+    busyForRefresh() const
+    {
+        if (!pending.empty())
+            return true;
+        for (std::uint8_t open : rowOpen) {
+            if (open)
+                return true;
+        }
+        return false;
+    }
 
     [[noreturn]] void throwClosedRowQuery(unsigned ibank) const;
 
     SdramTiming times;
 
-    /** @name Per-internal-bank state, struct-of-arrays
-     * Indexed by internal bank. The three restimer deadline arrays are
-     * contiguous so the wake scan in nextTimingEventAfter() walks flat
-     * Cycle memory; the row registers sit in their own arrays for the
-     * scheduler's row predicates.
+    /** @name Per-row-slot state, struct-of-arrays
+     * Indexed by row slot (BackendPolicy::slotOf — the internal bank
+     * on legacy backends, (ibank, subarray) on SALP). The three
+     * restimer deadline arrays are contiguous so the wake scan in
+     * nextTimingEventAfter() walks flat Cycle memory; the row
+     * registers sit in their own arrays for the scheduler's row
+     * predicates.
      * @{ */
     std::vector<Cycle> accessReady;    ///< tRCD satisfied
     std::vector<Cycle> prechargeReady; ///< tRAS / tWR satisfied

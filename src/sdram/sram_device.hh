@@ -32,6 +32,18 @@ class SramDevice final : public BankDevice
     bool isRowOpen(unsigned, std::uint32_t) const override { return true; }
     std::uint32_t openRow(unsigned) const override { return 0; }
     std::uint32_t lastRow(unsigned) const override { return 0; }
+    bool slotRowOpen(unsigned, std::uint32_t) const override
+    {
+        return true;
+    }
+    std::uint32_t openRowAt(unsigned, std::uint32_t) const override
+    {
+        return 0;
+    }
+    std::uint32_t lastRowAt(unsigned, std::uint32_t) const override
+    {
+        return 0;
+    }
 
     Cycle nextTimingEventAfter(Cycle now) const override;
 

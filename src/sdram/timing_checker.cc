@@ -8,13 +8,14 @@ namespace pva
 
 TimingChecker::TimingChecker(const Geometry &geo, const SdramTiming &timing,
                              unsigned banks, unsigned transactions,
-                             unsigned line_words)
-    : geometry(geo), times(timing), devs(banks),
+                             unsigned line_words,
+                             const BackendPolicy &policy)
+    : geometry(geo), times(timing), pol(policy), devs(banks),
       txnSlots(transactions,
                std::vector<SlotRecord>(line_words))
 {
     for (DeviceState &d : devs)
-        d.ibanks.resize(geo.internalBanks());
+        d.ibanks.resize(pol.slotCount(geo.internalBanks()));
 }
 
 void
@@ -47,19 +48,36 @@ TimingChecker::onCommand(const std::string &device, unsigned bank,
                                d.refreshBusyUntil)));
     }
     if (times.tREFI != 0) {
-        // Skipped-span audit: every scheduled tREFI boundary up to now
-        // must have been applied (and reported via onRefresh) before a
-        // command may issue — event clocking is not allowed to jump a
-        // refresh boundary away.
-        Cycle due = (now / times.tREFI) * times.tREFI;
-        if (due > d.refreshSeenThrough) {
-            violation(device, now,
-                      csprintf("scheduled refresh at cycle %llu was "
-                               "skipped (refresh seen through cycle "
-                               "%llu)",
-                               static_cast<unsigned long long>(due),
-                               static_cast<unsigned long long>(
-                                   d.refreshSeenThrough)));
+        if (pol.kind == MemBackend::DeferredRefresh) {
+            // Refresh-debt bound: the oldest uncovered boundary may be
+            // deferred at most deferWindow cycles; past its deadline
+            // no further command is legal until it is paid.
+            Cycle next_due = d.refreshSeenThrough + times.tREFI;
+            if (next_due + pol.deferWindow < now) {
+                violation(device, now,
+                          csprintf("refresh debt bound exceeded: "
+                                   "boundary %llu deferred past its "
+                                   "deadline %llu",
+                                   static_cast<unsigned long long>(
+                                       next_due),
+                                   static_cast<unsigned long long>(
+                                       next_due + pol.deferWindow)));
+            }
+        } else {
+            // Skipped-span audit: every scheduled tREFI boundary up to
+            // now must have been applied (and reported via onRefresh)
+            // before a command may issue — event clocking is not
+            // allowed to jump a refresh boundary away.
+            Cycle due = (now / times.tREFI) * times.tREFI;
+            if (due > d.refreshSeenThrough) {
+                violation(device, now,
+                          csprintf("scheduled refresh at cycle %llu was "
+                                   "skipped (refresh seen through cycle "
+                                   "%llu)",
+                                   static_cast<unsigned long long>(due),
+                                   static_cast<unsigned long long>(
+                                       d.refreshSeenThrough)));
+            }
         }
     }
     d.lastCommandAt = now;
@@ -67,12 +85,15 @@ TimingChecker::onCommand(const std::string &device, unsigned bank,
     switch (op.kind) {
       case DeviceOp::Kind::Activate: {
         DeviceCoords c = geometry.decompose(op.addr);
-        IBankState &ib = d.ibanks.at(c.internalBank);
+        // SALP subarray scoping: the row-cycle rules (tRP/tRC here,
+        // tRAS/tRCD/tWR below) bind per row slot, so activates to
+        // different subarrays of one internal bank may overlap.
+        IBankState &ib = d.ibanks.at(pol.slotOf(c.internalBank, c.row));
         if (ib.open) {
             violation(device, now,
                       csprintf("activate on open internal bank %u "
-                               "(missing precharge)",
-                               c.internalBank));
+                               "subarray %u (missing precharge)",
+                               c.internalBank, pol.subarrayOf(c.row)));
         }
         if (ib.everPrecharged &&
             now < ib.prechargeStartAt + times.tRP) {
@@ -98,7 +119,14 @@ TimingChecker::onCommand(const std::string &device, unsigned bank,
         break;
       }
       case DeviceOp::Kind::Precharge: {
-        IBankState &ib = d.ibanks.at(op.internalBank);
+        if (op.subarray >= pol.subarrays()) {
+            violation(device, now,
+                      csprintf("precharge names subarray %u but the "
+                               "backend has %u per internal bank",
+                               op.subarray, pol.subarrays()));
+        }
+        IBankState &ib = d.ibanks.at(
+            (op.internalBank << pol.subBits) | op.subarray);
         if (!ib.open) {
             violation(device, now,
                       csprintf("precharge on closed internal bank %u",
@@ -128,7 +156,7 @@ TimingChecker::onCommand(const std::string &device, unsigned bank,
       case DeviceOp::Kind::Read:
       case DeviceOp::Kind::Write: {
         DeviceCoords c = geometry.decompose(op.addr);
-        IBankState &ib = d.ibanks.at(c.internalBank);
+        IBankState &ib = d.ibanks.at(pol.slotOf(c.internalBank, c.row));
         bool is_read = op.kind == DeviceOp::Kind::Read;
         if (!ib.open) {
             violation(device, now,
@@ -200,16 +228,61 @@ TimingChecker::onCommand(const std::string &device, unsigned bank,
 }
 
 void
-TimingChecker::onRefresh(unsigned bank, Cycle now, Cycle busy_until)
+TimingChecker::onRefresh(unsigned bank, Cycle now, Cycle busy_until,
+                         Cycle covered)
 {
     DeviceState &d = devs.at(bank);
     d.refreshBusyUntil = std::max(d.refreshBusyUntil, busy_until);
-    // A refresh on a tREFI boundary is the scheduled one; record the
-    // boundary as covered (injected refreshes land on arbitrary cycles
-    // and do not satisfy the schedule).
-    if (times.tREFI != 0 && now != 0 && now % times.tREFI == 0 &&
-        now > d.refreshSeenThrough) {
-        d.refreshSeenThrough = now;
+    if (covered == kInferCovered) {
+        // Legacy inference for callers without coverage info: a
+        // refresh on a tREFI boundary is the scheduled one (injected
+        // refreshes land on arbitrary cycles and satisfy nothing).
+        covered = (times.tREFI != 0 && now != 0 &&
+                   now % times.tREFI == 0)
+                      ? now
+                      : 0;
+    }
+    if (covered != 0 && times.tREFI != 0) {
+        if (pol.kind == MemBackend::DeferredRefresh) {
+            // Coverage must be in order (no boundary skipped) and the
+            // applying refresh within deferWindow of its boundary on
+            // either side.
+            Cycle expect = d.refreshSeenThrough + times.tREFI;
+            if (covered != expect) {
+                violation(csprintf("bank%u", bank), now,
+                          csprintf("refresh covers boundary %llu out "
+                                   "of order (expected %llu)",
+                                   static_cast<unsigned long long>(
+                                       covered),
+                                   static_cast<unsigned long long>(
+                                       expect)));
+            }
+            if (covered > now + pol.deferWindow) {
+                violation(csprintf("bank%u", bank), now,
+                          csprintf("refresh pulled in %llu cycles "
+                                   "before boundary %llu (window %llu)",
+                                   static_cast<unsigned long long>(
+                                       covered - now),
+                                   static_cast<unsigned long long>(
+                                       covered),
+                                   static_cast<unsigned long long>(
+                                       pol.deferWindow)));
+            }
+            if (now > covered + pol.deferWindow) {
+                violation(csprintf("bank%u", bank), now,
+                          csprintf("refresh deferred %llu cycles past "
+                                   "boundary %llu (window %llu)",
+                                   static_cast<unsigned long long>(
+                                       now - covered),
+                                   static_cast<unsigned long long>(
+                                       covered),
+                                   static_cast<unsigned long long>(
+                                       pol.deferWindow)));
+            }
+            d.refreshSeenThrough = covered;
+        } else if (covered > d.refreshSeenThrough) {
+            d.refreshSeenThrough = covered;
+        }
     }
     for (IBankState &ib : d.ibanks) {
         ib.open = false;

@@ -44,18 +44,31 @@ namespace pva
 class TimingChecker
 {
   public:
+    /** Sentinel for onRefresh's @p covered: infer coverage from the
+     *  cycle (the legacy rule), for callers predating backends. */
+    static constexpr Cycle kInferCovered = kNeverCycle;
+
+    /** @p policy selects the per-backend rule set (subarray-scoped
+     *  row-cycle rules for SALP, debt-window refresh audit for
+     *  DeferredRefresh); the default is the legacy part. */
     TimingChecker(const Geometry &geo, const SdramTiming &timing,
                   unsigned banks, unsigned transactions,
-                  unsigned line_words);
+                  unsigned line_words,
+                  const BackendPolicy &policy = BackendPolicy{});
 
     /** @name Timing layer (SDRAM devices only)
      * Called by SdramDevice as it commits commands; throws
      * SimError(Protocol) on any rule violation. @{ */
     void onCommand(const std::string &device, unsigned bank,
                    const DeviceOp &op, Cycle now);
-    /** A refresh (scheduled or injected) closed every internal bank of
-     *  @p bank and holds the device busy until @p busy_until. */
-    void onRefresh(unsigned bank, Cycle now, Cycle busy_until);
+    /** A refresh closed every row slot of @p bank and holds the device
+     *  busy until @p busy_until. @p covered names the tREFI boundary
+     *  this refresh satisfies: 0 for an injected refresh (satisfies
+     *  none), kInferCovered to infer legacy-style from the cycle. On a
+     *  DeferredRefresh backend, coverage must be in order and within
+     *  the policy window of the boundary, or SimError(Protocol). */
+    void onRefresh(unsigned bank, Cycle now, Cycle busy_until,
+                   Cycle covered = kInferCovered);
     /** @} */
 
     /** @name Data shadow layer (all devices)
@@ -85,7 +98,8 @@ class TimingChecker
     void registerStats(StatSet &set, const std::string &prefix) const;
 
   private:
-    /** Shadow timing state of one internal bank. */
+    /** Shadow timing state of one row slot (internal bank on legacy
+     *  backends, (internal bank, subarray) on SALP). */
     struct IBankState
     {
         bool open = false;
@@ -101,7 +115,7 @@ class TimingChecker
     /** Shadow timing state of one external bank device. */
     struct DeviceState
     {
-        std::vector<IBankState> ibanks;
+        std::vector<IBankState> ibanks; ///< Indexed by row slot
         Cycle lastCommandAt = kNeverCycle; ///< One command bus per device
         Cycle lastDataAt = 0;              ///< Data pin occupancy
         bool lastDataWasRead = true;
@@ -129,6 +143,7 @@ class TimingChecker
 
     const Geometry &geometry;
     SdramTiming times;
+    BackendPolicy pol;
     std::vector<DeviceState> devs;
     std::vector<std::vector<SlotRecord>> txnSlots; ///< [txn][slot]
 };

@@ -116,6 +116,32 @@ TEST(FleetScenario, MinimalDocumentUsesDefaults)
     EXPECT_EQ(sc.config.tenants[0].streamsPerTenant, 1u);
 }
 
+TEST(FleetScenario, BackendKeyRoundTrips)
+{
+    const fleet::Scenario sc = fleet::parseScenarioText(
+        "{\"kind\": \"fleet\", \"backend\": \"salp\", "
+        "\"subarrays\": 8, \"refreshWindow\": 64, \"tenants\": [{}]}");
+    EXPECT_EQ(sc.config.config.backend, MemBackend::Salp);
+    EXPECT_EQ(sc.config.config.salpSubarrays, 8u);
+    EXPECT_EQ(sc.config.config.refreshDeferWindow, 64u);
+
+    // Absent key: the legacy part, exactly as before backends existed.
+    const fleet::Scenario def = fleet::parseScenarioText(
+        "{\"kind\": \"fleet\", \"tenants\": [{}]}");
+    EXPECT_EQ(def.config.config.backend, MemBackend::Legacy);
+}
+
+TEST(FleetScenario, UnknownBackendValueIsRejectedWithItsPath)
+{
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"backend\": \"hbm\", "
+        "\"tenants\": [{}]}",
+        "scenario.backend");
+    expectScenarioError(
+        "{\"kind\": \"fleet\", \"backend\": 3, \"tenants\": [{}]}",
+        "backend");
+}
+
 TEST(FleetScenario, UnknownKeysAreRejectedWithTheirPath)
 {
     expectScenarioError(

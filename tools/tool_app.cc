@@ -184,6 +184,24 @@ ToolApp::addSystemFlags(SystemConfig &config)
               [&config](unsigned long long n) {
                   config.timing.tREFI = n;
               });
+    option("--backend", "legacy|salp|deferred",
+           "memory-device backend (docs/DEVICE.md)",
+           [&config](const std::string &v) {
+               if (!parseMemBackend(v, config.backend))
+                   fatal("--backend expects 'legacy', 'salp' or "
+                         "'deferred', got '%s'", v.c_str());
+           });
+    numOption("--subarrays", "N",
+              "row-buffer subarrays per internal bank (salp backend)",
+              [&config](unsigned long long n) {
+                  config.salpSubarrays = n;
+              });
+    numOption("--refresh-window", "N",
+              "max cycles a refresh may move (deferred backend; "
+              "0 = tREFI/2)",
+              [&config](unsigned long long n) {
+                  config.refreshDeferWindow = n;
+              });
     option("--clocking", "exhaustive|event",
            "simulation clocking discipline",
            [&config](const std::string &mode) {
@@ -490,6 +508,7 @@ JsonEnvelope::JsonEnvelope(
        << ", \"rowPolicy\": "
        << jsonQuote(rowPolicyName(config.bc.rowPolicy))
        << ", \"refreshInterval\": " << config.timing.tREFI
+       << ", \"backend\": " << jsonQuote(backendName(config.backend))
        << ", \"clocking\": "
        << jsonQuote(clockingModeName(config.clocking))
        << ", \"timingCheck\": "
